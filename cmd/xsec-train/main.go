@@ -1,0 +1,102 @@
+// Command xsec-train runs the SMO training workflow: it collects (or
+// loads) a benign MOBIFLOW dataset, fits the MobiWatch autoencoder and
+// LSTM, calibrates the detection thresholds, and writes the deployable
+// model bundle.
+//
+// Usage:
+//
+//	xsec-train -out models.json                       # generate benign data, train
+//	xsec-train -csv benign.csv -out models.json       # train on a captured trace
+//	xsec-train -sessions 200 -epochs 60 -window 6 ... # scale the run
+//	xsec-train -export-csv benign.csv ...             # also save the dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "models.json", "output path for the model bundle")
+		csvIn     = flag.String("csv", "", "train on a MOBIFLOW CSV trace instead of generating one")
+		exportCSV = flag.String("export-csv", "", "also write the benign dataset as CSV")
+		sessions  = flag.Int("sessions", 120, "benign sessions to generate")
+		fleet     = flag.Int("fleet", 20, "distinct benign devices")
+		window    = flag.Int("window", 4, "sliding-window size N")
+		pctile    = flag.Float64("percentile", 99, "threshold percentile")
+		epochs    = flag.Int("epochs", 40, "training epochs")
+		seed      = flag.Int64("seed", 1, "generation/training seed")
+		verbose   = flag.Bool("v", false, "print per-epoch loss")
+	)
+	flag.Parse()
+	if err := run(*out, *csvIn, *exportCSV, *sessions, *fleet, *window, *pctile, *epochs, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "xsec-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, csvIn, exportCSV string, sessions, fleet, window int, pctile float64, epochs int, seed int64, verbose bool) error {
+	var benign mobiflow.Trace
+	var err error
+	if csvIn != "" {
+		f, err := os.Open(csvIn)
+		if err != nil {
+			return err
+		}
+		benign, err = mobiflow.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d records from %s\n", len(benign), csvIn)
+	} else {
+		fmt.Printf("generating benign dataset: %d sessions across %d devices...\n", sessions, fleet)
+		benign, err = dataset.GenerateBenign(dataset.BenignConfig{Sessions: sessions, Fleet: fleet, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collected %d telemetry records (%d UE contexts)\n", len(benign), len(benign.UEs()))
+	}
+
+	if exportCSV != "" {
+		f, err := os.Create(exportCSV)
+		if err != nil {
+			return err
+		}
+		if err := benign.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("dataset exported to %s\n", exportCSV)
+	}
+
+	opts := mobiwatch.TrainOptions{Window: window, Percentile: pctile, Epochs: epochs, Seed: seed}
+	fmt.Printf("training autoencoder + LSTM (window=%d, epochs=%d, threshold=p%.1f)...\n",
+		window, epochs, pctile)
+	models, err := mobiwatch.Train(benign, opts)
+	if err != nil {
+		return err
+	}
+	_ = verbose
+	fmt.Printf("fitted thresholds: AE=%.6f  LSTM=%.6f  (vocabulary: %d messages)\n",
+		models.AEThreshold, models.LSTMThreshold, len(models.Vocab.Messages))
+
+	bundle, err := models.Save()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, bundle, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("model bundle written to %s (%d bytes)\n", out, len(bundle))
+	return nil
+}

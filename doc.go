@@ -1,0 +1,20 @@
+// Package xsec is the root of the 6G-XSec reproduction: an explainable
+// edge-security framework for OpenRAN architectures (Wen et al.,
+// HotNets '24), implemented from scratch in pure-stdlib Go.
+//
+// The framework couples MOBIFLOW security telemetry extracted from a
+// simulated 5G data plane, unsupervised deep-learning anomaly detection
+// (the MobiWatch xApp), and LLM-based expert referencing (the Analyzer
+// xApp) on a near-real-time RAN Intelligent Controller.
+//
+// Entry points:
+//
+//   - internal/core: the assembled framework (embedding API)
+//   - cmd/xsec-testbed: the live end-to-end deployment
+//   - cmd/xsec-bench: regenerate the paper's tables and figures
+//   - examples/: runnable scenarios
+//
+// The benchmarks in bench_test.go regenerate each evaluation artifact;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package xsec

@@ -1,0 +1,137 @@
+// Attack detection through the full O-RAN pipeline: every one of the
+// paper's five attacks is launched against the live framework — UE → gNB
+// → E2 → near-RT RIC → MobiWatch xApp → LLM Analyzer xApp — and the
+// resulting cases are reported per attack.
+//
+// Run with: go run ./examples/attack-detection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/analyzer"
+	"github.com/6g-xsec/xsec/internal/core"
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+func main() {
+	fw, err := core.New(core.Options{
+		Seed:         11,
+		ReportPeriod: 10 * time.Millisecond,
+		TrainOpts:    mobiwatch.TrainOptions{Epochs: 20, Seed: 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fw.Close()
+
+	fmt.Println("collecting benign traffic and training MobiWatch...")
+	benign, err := fw.CollectBenign(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.Train(benign); err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.DeployXApps(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("xApps deployed; launching the five attacks")
+
+	victim := fw.NewUE(ue.Pixel6, 500)
+	vres, err := victim.RunSession(fw.GNB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker := fw.NewUE(ue.OAIUE, 501)
+	attacker.Pace = func() { fw.Clock().Advance(500 * time.Microsecond) }
+
+	attacks := []struct {
+		name string
+		run  func() (ue.AttackResult, error)
+	}{
+		{"BTS DoS", func() (ue.AttackResult, error) { return attacker.RunBTSDoS(fw.GNB, 8) }},
+		{"Blind DoS", func() (ue.AttackResult, error) { return attacker.RunBlindDoS(fw.GNB, vres.GUTI.TMSI, 6) }},
+		{"Uplink ID Extraction", func() (ue.AttackResult, error) { return attacker.RunUplinkIDExtraction(fw.GNB) }},
+		{"Downlink ID Extraction", func() (ue.AttackResult, error) { return attacker.RunDownlinkIDExtraction(fw.GNB) }},
+		{"Null Cipher & Integrity", func() (ue.AttackResult, error) { return attacker.RunNullCipher(fw.GNB) }},
+	}
+
+	for _, atk := range attacks {
+		fmt.Printf("=== %s ===\n", atk.name)
+		res, err := atk.run()
+		if err != nil {
+			fmt.Printf("  attack error: %v\n", err)
+		}
+		// Drain cases for this attack.
+		cases := drain(fw, 800*time.Millisecond)
+		// Inactivity release of the attacker's leftover contexts, so the
+		// next attack's context windows start clean.
+		for _, id := range res.UEIDs {
+			fw.GNB.ReleaseUE(id)
+			fw.AMF.ReleaseUE(id)
+		}
+		fw.Clock().Advance(2 * time.Second)
+		// A benign session flushes the sliding window past the cleanup
+		// records, and the final drain discards their cases.
+		if res, err := victim.RunSession(fw.GNB); err == nil && !victim.Profile.Deregisters {
+			fw.GNB.ReleaseUE(res.UEID)
+			fw.AMF.ReleaseUE(res.UEID)
+		}
+		fw.Clock().Advance(2 * time.Second)
+		drain(fw, 400*time.Millisecond) // discard cleanup-window cases
+		if len(cases) == 0 {
+			fmt.Println("  NOT DETECTED (no case raised)")
+			continue
+		}
+		detected, explained := 0, 0
+		var classes []string
+		for _, c := range cases {
+			detected++
+			if c.Analysis != nil && c.Analysis.Verdict == llm.VerdictAnomalous {
+				explained++
+				classes = appendUnique(classes, c.Analysis.TopClass().String())
+			}
+		}
+		fmt.Printf("  detected: %d case(s); LLM-confirmed: %d\n", detected, explained)
+		if len(classes) > 0 {
+			fmt.Printf("  LLM classification: %v\n", classes)
+		}
+		if explained == 0 {
+			// Per the paper's Table 3, the chatgpt-4o analyst misses the
+			// uplink identity-extraction pattern; MobiWatch still raised
+			// the alarm, and the disagreement routes to human review.
+			fmt.Printf("  analyst disagreed -> %d case(s) in the human-review queue\n", detected)
+		}
+		fmt.Println()
+	}
+
+	ws := fw.WatchStats()
+	fmt.Printf("pipeline totals: %d records, %d windows scored, %d alerts\n",
+		ws.RecordsSeen.Load(), ws.WindowsScored.Load(), ws.AlertsRaised.Load())
+}
+
+func drain(fw *core.Framework, quiet time.Duration) []*analyzer.Case {
+	var out []*analyzer.Case
+	for {
+		select {
+		case c := <-fw.Cases():
+			out = append(out, c)
+		case <-time.After(quiet):
+			return out
+		}
+	}
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

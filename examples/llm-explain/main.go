@@ -1,0 +1,94 @@
+// Expert referencing across all five model personalities: each hosted
+// model is asked to analyze the same five attack traces plus a benign
+// one, reproducing the paper's Table 3 experiment interactively, then one
+// full analysis is printed in detail.
+//
+// Run with: go run ./examples/llm-explain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+func main() {
+	labeled, err := dataset.GenerateMixed(dataset.MixedConfig{
+		BenignConfig:       dataset.BenignConfig{Seed: 21},
+		InstancesPerAttack: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := llm.NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+	fmt.Printf("expert service hosting %d model personalities at http://%s\n\n", len(llm.DefaultModels), addr)
+
+	kinds := []ue.AttackKind{
+		ue.AttackBTSDoS, ue.AttackBlindDoS, ue.AttackUplinkIDExtraction,
+		ue.AttackDownlinkIDExtraction, ue.AttackNullCipher,
+	}
+
+	fmt.Printf("%-28s", "Attack / Trace")
+	for _, m := range llm.DefaultModels {
+		fmt.Printf("  %-16s", m.Name)
+	}
+	fmt.Println()
+
+	expected := map[ue.AttackKind]llm.AttackClass{
+		ue.AttackBTSDoS:               llm.ClassBTSDoS,
+		ue.AttackBlindDoS:             llm.ClassBlindDoS,
+		ue.AttackUplinkIDExtraction:   llm.ClassUplinkIDExtraction,
+		ue.AttackDownlinkIDExtraction: llm.ClassDownlinkIDExtraction,
+		ue.AttackNullCipher:           llm.ClassNullCipher,
+	}
+	for _, kind := range kinds {
+		window := windowOf(labeled, kind)
+		fmt.Printf("%-28s", kind)
+		for _, m := range llm.DefaultModels {
+			client := llm.NewClient("http://"+addr, m.Name)
+			analysis, err := client.AnalyzeWindow(window)
+			mark := "?"
+			if err == nil {
+				switch {
+				case analysis.Verdict == llm.VerdictAnomalous && analysis.TopClass() == expected[kind]:
+					mark = "OK" // correct classification
+				case analysis.Verdict == llm.VerdictAnomalous:
+					mark = "misclass"
+				default:
+					mark = "missed"
+				}
+			}
+			fmt.Printf("  %-16s", mark)
+		}
+		fmt.Println()
+	}
+
+	// One analysis in full, the Figure 5 view.
+	fmt.Println("\n=== full analysis: chatgpt-4o on BTS DoS ===")
+	client := llm.NewClient("http://"+addr, "chatgpt-4o")
+	analysis, err := client.AnalyzeWindow(windowOf(labeled, ue.AttackBTSDoS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(analysis.Raw)
+}
+
+func windowOf(l *dataset.Labeled, kind ue.AttackKind) mobiflow.Trace {
+	var w mobiflow.Trace
+	for i, r := range l.Trace {
+		if l.AttackOf[i] == int(kind) {
+			w = append(w, r)
+		}
+	}
+	return w
+}

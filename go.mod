@@ -1,0 +1,3 @@
+module github.com/6g-xsec/xsec
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package analyzer implements the LLM Analyzer xApp (§3.3 of the paper):
+// anomalous windows flagged by MobiWatch are rendered into zero-shot
+// prompts, sent to an LLM endpoint over REST, and parsed into structured
+// analyses (classification, explanation, attribution, remediation). The
+// xApp cross-compares the detector's and the LLM's decisions — agreement
+// increases confidence, disagreement routes the case to the human-
+// supervision queue (the hallucination safeguard) — and recommends E2
+// control actions for the closed feedback loop of Figure 3.
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// Case is one fully processed incident.
+type Case struct {
+	// Alert is the originating detection.
+	Alert mobiwatch.Alert
+	// Analysis is the LLM's structured answer (nil if the query failed).
+	Analysis *llm.Analysis
+	// Agree reports whether detector and LLM both consider the window
+	// anomalous.
+	Agree bool
+	// NeedsHuman marks cases requiring operator review: detector/LLM
+	// disagreement or an unusable LLM response.
+	NeedsHuman bool
+	// Control is the recommended closed-loop action, if any.
+	Control *e2sm.ControlRequest
+	// ProcessedAt stamps completion.
+	ProcessedAt time.Time
+}
+
+// Stats counts analyzer activity.
+type Stats struct {
+	Processed  atomic.Uint64
+	Agreements atomic.Uint64
+	Disagrees  atomic.Uint64
+	Failures   atomic.Uint64
+}
+
+// Analyzer is the xApp.
+type Analyzer struct {
+	client *llm.Client
+	store  *sdl.Store
+	clock  func() time.Time
+	stats  Stats
+}
+
+// New builds an analyzer querying client and persisting its human-review
+// queue in store (may be nil to skip persistence).
+func New(client *llm.Client, store *sdl.Store) *Analyzer {
+	return &Analyzer{client: client, store: store, clock: time.Now}
+}
+
+// Stats returns live counters.
+func (a *Analyzer) Stats() *Stats { return &a.stats }
+
+// Process runs expert referencing for one alert.
+func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
+	c := &Case{Alert: alert, ProcessedAt: a.clock()}
+	window := alert.Context
+	if len(window) == 0 {
+		window = alert.Window
+	}
+	analysis, err := a.client.AnalyzeWindow(window)
+	a.stats.Processed.Add(1)
+	if err != nil {
+		// The LLM is unreachable or hallucinated an unparseable answer:
+		// the detector's verdict stands, but a human must review.
+		a.stats.Failures.Add(1)
+		c.NeedsHuman = true
+		a.enqueueHuman(c, fmt.Sprintf("llm failure: %v", err))
+		return c, nil
+	}
+	c.Analysis = analysis
+	c.Agree = analysis.Verdict == llm.VerdictAnomalous
+	if c.Agree {
+		a.stats.Agreements.Add(1)
+		c.Control = RecommendControl(analysis, window)
+	} else {
+		// MobiWatch flagged the window; the LLM disagrees. §3.3: human
+		// supervision is required for contradictory results.
+		a.stats.Disagrees.Add(1)
+		c.NeedsHuman = true
+		a.enqueueHuman(c, "detector/LLM disagreement")
+	}
+	return c, nil
+}
+
+// Run consumes alerts until the channel closes, emitting processed cases.
+func (a *Analyzer) Run(alerts <-chan mobiwatch.Alert) <-chan *Case {
+	out := make(chan *Case, 16)
+	go func() {
+		defer close(out)
+		for alert := range alerts {
+			c, err := a.Process(alert)
+			if err != nil {
+				continue
+			}
+			out <- c
+		}
+	}()
+	return out
+}
+
+// humanQueueEntry is the SDL persistence format for the review queue.
+type humanQueueEntry struct {
+	Reason  string    `json:"reason"`
+	Model   string    `json:"model"`
+	Score   float64   `json:"score"`
+	Records []string  `json:"records"`
+	At      time.Time `json:"at"`
+}
+
+func (a *Analyzer) enqueueHuman(c *Case, reason string) {
+	if a.store == nil {
+		return
+	}
+	entry := humanQueueEntry{
+		Reason: reason,
+		Model:  string(c.Alert.Model),
+		Score:  c.Alert.Score,
+		At:     c.ProcessedAt,
+	}
+	for _, r := range c.Alert.Window {
+		entry.Records = append(entry.Records, r.String())
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	key := fmt.Sprintf("case/%020d", c.Alert.Window[0].Seq)
+	a.store.Set("analyzer/human-queue", key, data)
+}
+
+// HumanQueueLen reports pending human-review cases.
+func (a *Analyzer) HumanQueueLen() int {
+	if a.store == nil {
+		return 0
+	}
+	return a.store.Len("analyzer/human-queue")
+}
+
+// RecommendControl maps an LLM classification to a closed-loop E2 control
+// action (§5, Automated Network Responses). Identity-extraction attacks
+// yield no automated action: they indicate a radio-side MiTM that RAN
+// controls cannot remove, so the case is informational.
+func RecommendControl(analysis *llm.Analysis, window mobiflow.Trace) *e2sm.ControlRequest {
+	if analysis == nil || analysis.Verdict != llm.VerdictAnomalous {
+		return nil
+	}
+	switch analysis.TopClass() {
+	case llm.ClassBTSDoS:
+		// Release the most recent offending context.
+		if ue, ok := lastUE(window); ok {
+			return &e2sm.ControlRequest{
+				Action: e2sm.ControlReleaseUE,
+				UEID:   ue,
+				Reason: "signaling storm: releasing fabricated connection",
+			}
+		}
+	case llm.ClassBlindDoS:
+		if tmsi, ok := dominantTMSI(window); ok {
+			return &e2sm.ControlRequest{
+				Action: e2sm.ControlBlockTMSI,
+				TMSI:   tmsi,
+				Reason: "blind DoS: blocking replayed temporary identity",
+			}
+		}
+	case llm.ClassNullCipher:
+		return &e2sm.ControlRequest{
+			Action: e2sm.ControlRequireStrongSecurity,
+			Reason: "null-security session detected: enforcing strong algorithms",
+		}
+	}
+	return nil
+}
+
+func lastUE(window mobiflow.Trace) (uint64, bool) {
+	if len(window) == 0 {
+		return 0, false
+	}
+	return window[len(window)-1].UEID, true
+}
+
+func dominantTMSI(window mobiflow.Trace) (cell.TMSI, bool) {
+	counts := make(map[cell.TMSI]int)
+	for _, r := range window {
+		if r.TMSI != cell.InvalidTMSI {
+			counts[r.TMSI]++
+		}
+	}
+	var best cell.TMSI
+	bestN := 0
+	for tmsi, n := range counts {
+		if n > bestN || (n == bestN && tmsi < best) {
+			best, bestN = tmsi, n
+		}
+	}
+	return best, bestN > 0
+}

@@ -1,0 +1,187 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/sdl"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+func mixedTrace(t *testing.T) *dataset.Labeled {
+	t.Helper()
+	l, err := dataset.GenerateMixed(dataset.MixedConfig{
+		BenignConfig:       dataset.BenignConfig{Fleet: 8, Seed: 51},
+		InstancesPerAttack: 1,
+		BenignBetween:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func windowOf(l *dataset.Labeled, kind ue.AttackKind) mobiflow.Trace {
+	var w mobiflow.Trace
+	for i, r := range l.Trace {
+		if l.AttackOf[i] == int(kind) {
+			w = append(w, r)
+		}
+	}
+	return w
+}
+
+func startExpert(t *testing.T) string {
+	t.Helper()
+	srv := llm.NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdown() })
+	return "http://" + addr
+}
+
+func TestProcessAgreement(t *testing.T) {
+	l := mixedTrace(t)
+	base := startExpert(t)
+	store := sdl.New()
+	a := New(llm.NewClient(base, "chatgpt-4o"), store)
+
+	alert := mobiwatch.Alert{
+		NodeID: "gnb-001", Model: mobiwatch.ModelAE, Score: 0.5, Threshold: 0.1,
+		Window: windowOf(l, ue.AttackBTSDoS), At: time.Now(),
+	}
+	c, err := a.Process(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Agree || c.NeedsHuman {
+		t.Errorf("case = agree=%v needsHuman=%v", c.Agree, c.NeedsHuman)
+	}
+	if c.Analysis == nil || c.Analysis.Verdict != llm.VerdictAnomalous {
+		t.Fatalf("analysis = %+v", c.Analysis)
+	}
+	if c.Control == nil || c.Control.Action != e2sm.ControlReleaseUE {
+		t.Errorf("control = %+v, want release-ue", c.Control)
+	}
+	if a.Stats().Agreements.Load() != 1 {
+		t.Error("agreement not counted")
+	}
+	if a.HumanQueueLen() != 0 {
+		t.Error("agreement enqueued for human review")
+	}
+}
+
+func TestProcessDisagreementGoesToHumans(t *testing.T) {
+	l := mixedTrace(t)
+	base := startExpert(t)
+	store := sdl.New()
+	// Claude misses BTS DoS (Table 3): it will call the window benign.
+	a := New(llm.NewClient(base, "claude-3-sonnet"), store)
+
+	alert := mobiwatch.Alert{
+		Model: mobiwatch.ModelAE, Score: 0.5, Threshold: 0.1,
+		Window: windowOf(l, ue.AttackBTSDoS), At: time.Now(),
+	}
+	c, err := a.Process(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Agree {
+		t.Fatal("expected disagreement")
+	}
+	if !c.NeedsHuman {
+		t.Error("disagreement not routed to humans")
+	}
+	if c.Control != nil {
+		t.Error("control recommended despite disagreement")
+	}
+	if a.HumanQueueLen() != 1 {
+		t.Errorf("human queue = %d", a.HumanQueueLen())
+	}
+	if a.Stats().Disagrees.Load() != 1 {
+		t.Error("disagreement not counted")
+	}
+}
+
+func TestProcessLLMFailure(t *testing.T) {
+	l := mixedTrace(t)
+	store := sdl.New()
+	// Unreachable endpoint.
+	a := New(llm.NewClient("http://127.0.0.1:1", "chatgpt-4o"), store)
+	alert := mobiwatch.Alert{
+		Model: mobiwatch.ModelAE, Window: windowOf(l, ue.AttackBTSDoS), At: time.Now(),
+	}
+	c, err := a.Process(alert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NeedsHuman || c.Analysis != nil {
+		t.Errorf("case = %+v", c)
+	}
+	if a.Stats().Failures.Load() != 1 {
+		t.Error("failure not counted")
+	}
+	if a.HumanQueueLen() != 1 {
+		t.Error("failure not enqueued")
+	}
+}
+
+func TestRunChannelPipeline(t *testing.T) {
+	l := mixedTrace(t)
+	base := startExpert(t)
+	a := New(llm.NewClient(base, "chatgpt-4o"), sdl.New())
+
+	alerts := make(chan mobiwatch.Alert, 2)
+	alerts <- mobiwatch.Alert{Model: mobiwatch.ModelAE, Window: windowOf(l, ue.AttackNullCipher), At: time.Now()}
+	alerts <- mobiwatch.Alert{Model: mobiwatch.ModelLSTM, Window: windowOf(l, ue.AttackBlindDoS), At: time.Now()}
+	close(alerts)
+
+	var cases []*Case
+	for c := range a.Run(alerts) {
+		cases = append(cases, c)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	if cases[0].Analysis.TopClass() != llm.ClassNullCipher {
+		t.Errorf("case 0 class = %v", cases[0].Analysis.TopClass())
+	}
+	if cases[0].Control == nil || cases[0].Control.Action != e2sm.ControlRequireStrongSecurity {
+		t.Errorf("case 0 control = %+v", cases[0].Control)
+	}
+	if cases[1].Control == nil || cases[1].Control.Action != e2sm.ControlBlockTMSI {
+		t.Errorf("case 1 control = %+v", cases[1].Control)
+	}
+}
+
+func TestRecommendControl(t *testing.T) {
+	if RecommendControl(nil, nil) != nil {
+		t.Error("nil analysis produced control")
+	}
+	benign := &llm.Analysis{Verdict: llm.VerdictBenign}
+	if RecommendControl(benign, nil) != nil {
+		t.Error("benign verdict produced control")
+	}
+	// Identity extraction: informational only.
+	idx := &llm.Analysis{Verdict: llm.VerdictAnomalous,
+		Hypotheses: []llm.Hypothesis{{Class: llm.ClassUplinkIDExtraction}}}
+	if RecommendControl(idx, mobiflow.Trace{{UEID: 1}}) != nil {
+		t.Error("identity extraction produced automated control")
+	}
+	// Blind DoS picks the dominant TMSI.
+	blind := &llm.Analysis{Verdict: llm.VerdictAnomalous,
+		Hypotheses: []llm.Hypothesis{{Class: llm.ClassBlindDoS}}}
+	w := mobiflow.Trace{{TMSI: 5}, {TMSI: 5}, {TMSI: 9}}
+	ctrl := RecommendControl(blind, w)
+	if ctrl == nil || ctrl.TMSI != cell.TMSI(5) {
+		t.Errorf("control = %+v", ctrl)
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// Table3Result is the LLM evaluation matrix: per trace (5 attacks + 2
+// benign), whether each model classified it correctly.
+type Table3Result struct {
+	Models  []string
+	Traces  []string
+	Correct map[string]map[string]bool // trace → model → correct
+}
+
+// table3Attacks lists the attack rows in the paper's order.
+var table3Attacks = []ue.AttackKind{
+	ue.AttackBTSDoS, ue.AttackBlindDoS, ue.AttackUplinkIDExtraction,
+	ue.AttackDownlinkIDExtraction, ue.AttackNullCipher,
+}
+
+var table3Expected = map[ue.AttackKind]llm.AttackClass{
+	ue.AttackBTSDoS:               llm.ClassBTSDoS,
+	ue.AttackBlindDoS:             llm.ClassBlindDoS,
+	ue.AttackUplinkIDExtraction:   llm.ClassUplinkIDExtraction,
+	ue.AttackDownlinkIDExtraction: llm.ClassDownlinkIDExtraction,
+	ue.AttackNullCipher:           llm.ClassNullCipher,
+}
+
+// RunTable3 reproduces Table 3: the five hosted model personalities are
+// queried over the real REST path with the zero-shot prompt for each
+// attack trace and two benign traces; a ✓ requires the correct verdict
+// and, for attacks, the correct top classification.
+func RunTable3(cfg Config) (*Table3Result, error) {
+	return runTable3(cfg, false)
+}
+
+// RunTable3RAG repeats the Table 3 experiment with retrieval-augmented
+// prompts (the paper's §5 "Specialized LLM for 6G" direction): relevant
+// 3GPP passages are appended to each prompt, lifting the zero-shot blind
+// spots.
+func RunTable3RAG(cfg Config) (*Table3Result, error) {
+	return runTable3(cfg, true)
+}
+
+func runTable3(cfg Config, rag bool) (*Table3Result, error) {
+	cfg.defaults()
+	env, err := BuildEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := llm.NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	res := &Table3Result{Correct: make(map[string]map[string]bool)}
+	for _, m := range llm.DefaultModels {
+		res.Models = append(res.Models, m.Name)
+	}
+
+	evaluate := func(traceName string, window mobiflow.Trace, want llm.AttackClass, wantBenign bool) error {
+		res.Traces = append(res.Traces, traceName)
+		res.Correct[traceName] = make(map[string]bool)
+		for _, m := range llm.DefaultModels {
+			client := llm.NewClient("http://"+addr, m.Name)
+			client.RAG = rag
+			analysis, err := client.AnalyzeWindow(window)
+			if err != nil {
+				return fmt.Errorf("bench: %s on %s: %w", m.Name, traceName, err)
+			}
+			var correct bool
+			if wantBenign {
+				correct = analysis.Verdict == llm.VerdictBenign
+			} else {
+				correct = analysis.Verdict == llm.VerdictAnomalous && analysis.TopClass() == want
+			}
+			res.Correct[traceName][m.Name] = correct
+		}
+		return nil
+	}
+
+	for _, kind := range table3Attacks {
+		window := attackTrace(env, kind)
+		if err := evaluate(kind.String(), window, table3Expected[kind], false); err != nil {
+			return nil, err
+		}
+	}
+	// Two benign windows from different parts of the capture.
+	b1, b2 := benignWindows(env)
+	if err := evaluate("Benign Sequence 1", b1, llm.ClassUnknown, true); err != nil {
+		return nil, err
+	}
+	if err := evaluate("Benign Sequence 2", b2, llm.ClassUnknown, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func benignWindows(env *Env) (mobiflow.Trace, mobiflow.Trace) {
+	var benign mobiflow.Trace
+	for i, r := range env.Mixed.Trace {
+		if env.Mixed.AttackOf[i] == -1 {
+			benign = append(benign, r)
+		}
+	}
+	n := len(benign)
+	take := func(from int) mobiflow.Trace {
+		to := from + 15
+		if to > n {
+			to = n
+		}
+		return benign[from:to]
+	}
+	return take(0), take(n / 2)
+}
+
+// Format renders the matrix in the paper's layout.
+func (r *Table3Result) Format() string {
+	header := append([]string{"Attack / Trace"}, r.Models...)
+	var rows [][]string
+	for _, trace := range r.Traces {
+		row := []string{trace}
+		for _, model := range r.Models {
+			mark := "x"
+			if r.Correct[trace][model] {
+				mark = "OK"
+			}
+			row = append(row, mark)
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	b.WriteString("Table 3: Evaluation results from different LLMs (OK = correct classification)\n\n")
+	b.WriteString(formatTable(header, rows))
+	return b.String()
+}
+
+// Score counts correct cells per model (ChatGPT-4o leads in the paper).
+func (r *Table3Result) Score() map[string]int {
+	out := make(map[string]int)
+	for _, trace := range r.Traces {
+		for _, model := range r.Models {
+			if r.Correct[trace][model] {
+				out[model]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+// Package core assembles the 6G-XSec framework (Figure 3 of the paper):
+// the simulated data plane (UE ↔ gNB ↔ AMF), the near-RT RIC platform
+// with its E2 termination, the SMO training/deployment workflow, the
+// MobiWatch detection xApp, the LLM Analyzer xApp with its expert
+// endpoint, and the closed-loop control feedback.
+//
+// It is the embedding API the executables and examples build on:
+//
+//	fw, _ := core.New(core.Options{Seed: 1})
+//	defer fw.Close()
+//	fw.ProvisionFleet(10)
+//	benign, _ := fw.CollectBenign(120)
+//	fw.Train(benign)
+//	fw.DeployXApps()
+//	... drive traffic via fw.GNB / fw.NewUE, consume fw.Cases()
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/analyzer"
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/corenet"
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/gnb"
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/ric"
+	"github.com/6g-xsec/xsec/internal/sdl"
+	"github.com/6g-xsec/xsec/internal/smo"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// Options configures the framework.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// NodeID names the gNB (default "gnb-001").
+	NodeID string
+	// ReportPeriod is the E2 telemetry report interval (default 20 ms).
+	ReportPeriod time.Duration
+	// TrainOpts parameterizes MobiWatch training.
+	TrainOpts mobiwatch.TrainOptions
+	// LLMModel selects the analyst personality (default "chatgpt-4o").
+	LLMModel string
+	// LLMBaseURL points at an external endpoint; empty starts the
+	// built-in expert service.
+	LLMBaseURL string
+	// LLMRAG enables retrieval-augmented prompting for the analyzer
+	// (3GPP passages appended per window; §5 of the paper).
+	LLMRAG bool
+	// AutoRespond applies recommended E2 control actions automatically
+	// (the closed loop); otherwise cases only surface recommendations.
+	AutoRespond bool
+	// CaseBuffer bounds the processed-case stream (default 128).
+	CaseBuffer int
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.NodeID == "" {
+		o.NodeID = "gnb-001"
+	}
+	if o.ReportPeriod == 0 {
+		o.ReportPeriod = 20 * time.Millisecond
+	}
+	if o.LLMModel == "" {
+		o.LLMModel = "chatgpt-4o"
+	}
+	if o.CaseBuffer == 0 {
+		o.CaseBuffer = 128
+	}
+}
+
+// Framework is a fully assembled 6G-XSec deployment.
+type Framework struct {
+	Opts Options
+
+	SDL      *sdl.Store
+	RIC      *ric.Platform
+	GNB      *gnb.GNB
+	AMF      *corenet.AMF
+	Registry *smo.Registry
+	A1       *smo.A1
+
+	// Models is the deployed MobiWatch bundle (after Train/Deploy).
+	Models *mobiwatch.Models
+
+	watch     *mobiwatch.Runtime
+	anlz      *analyzer.Analyzer
+	xappWatch *ric.XApp
+	xappAnlz  *ric.XApp
+
+	llmAddr     string
+	llmShutdown func() error
+	a1Cancel    func()
+
+	cases        chan *analyzer.Case
+	casesDropped atomic.Uint64
+	controlsSent atomic.Uint64
+
+	fleetSize int
+	clock     *dataset.VClock
+}
+
+// New assembles the data plane, control plane, and expert service. xApps
+// are deployed separately (DeployXApps) once models exist.
+func New(opts Options) (*Framework, error) {
+	opts.defaults()
+	store := sdl.New()
+	platform := ric.NewPlatform(store)
+
+	amf := corenet.NewAMF(opts.Seed + 1)
+	clock := dataset.NewVClock(time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC))
+	g, err := gnb.New(gnb.Config{NodeID: opts.NodeID, AMF: amf, Clock: clock.Now})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// E2 loopback: the gNB agent on one end, the RIC E2T on the other.
+	ricEnd, nodeEnd := e2ap.Pipe()
+	go platform.AttachNode(ricEnd)
+	go g.ServeE2(nodeEnd)
+
+	fw := &Framework{
+		Opts:     opts,
+		SDL:      store,
+		RIC:      platform,
+		GNB:      g,
+		AMF:      amf,
+		Registry: smo.NewRegistry(store),
+		A1:       smo.NewA1(store),
+		cases:    make(chan *analyzer.Case, opts.CaseBuffer),
+		clock:    clock,
+	}
+
+	if opts.LLMBaseURL == "" {
+		srv := llm.NewServer()
+		addr, shutdown, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("core: starting expert service: %w", err)
+		}
+		fw.llmAddr = "http://" + addr
+		fw.llmShutdown = shutdown
+	} else {
+		fw.llmAddr = opts.LLMBaseURL
+	}
+
+	// Wait for the E2 setup handshake to complete.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(platform.Nodes()) == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("core: gNB did not complete E2 setup")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fw, nil
+}
+
+// Clock returns the data plane's virtual clock.
+func (f *Framework) Clock() *dataset.VClock { return f.clock }
+
+// LLMBaseURL reports the expert endpoint in use.
+func (f *Framework) LLMBaseURL() string { return f.llmAddr }
+
+// ProvisionFleet provisions n subscribers and returns their UE drivers,
+// cycling through the commodity-device profiles.
+func (f *Framework) ProvisionFleet(n int) []*ue.UE {
+	fleet := make([]*ue.UE, n)
+	for i := 0; i < n; i++ {
+		fleet[i] = f.NewUE(ue.Profiles[i%len(ue.Profiles)], i)
+	}
+	f.fleetSize += n
+	return fleet
+}
+
+// NewUE provisions one subscriber with the given profile. idx
+// disambiguates SUPIs/keys across calls.
+func (f *Framework) NewUE(profile ue.Profile, idx int) *ue.UE {
+	supi := cell.SUPI(fmt.Sprintf("imsi-00101%010d", f.fleetSize+idx+1))
+	var k [nas.KeySize]byte
+	copy(k[:], fmt.Sprintf("subscriber-key-%09d", f.fleetSize+idx+1))
+	f.AMF.AddSubscriber(corenet.Subscriber{SUPI: supi, K: k})
+	u := ue.New(supi, k, profile, f.Opts.Seed+int64(f.fleetSize+idx)*31)
+	u.Pace = func() { f.clock.Advance(10 * time.Millisecond) }
+	return u
+}
+
+// CollectBenign drives n benign sessions across a temporary fleet and
+// returns the collected telemetry, leaving the record buffer drained so
+// live detection starts clean.
+func (f *Framework) CollectBenign(sessions int) (mobiflow.Trace, error) {
+	fleet := f.ProvisionFleet(10)
+	for i := 0; i < sessions; i++ {
+		u := fleet[i%len(fleet)]
+		res, err := u.RunSession(f.GNB)
+		if err != nil {
+			return nil, fmt.Errorf("core: benign session %d: %w", i, err)
+		}
+		if !u.Profile.Deregisters {
+			f.GNB.ReleaseUE(res.UEID)
+			f.AMF.ReleaseUE(res.UEID)
+		}
+		f.clock.Advance(300 * time.Millisecond)
+	}
+	return f.GNB.DrainRecords(), nil
+}
+
+// Train fits MobiWatch on benign telemetry via the SMO workflow and
+// deploys the published bundle.
+func (f *Framework) Train(benign mobiflow.Trace) error {
+	job := smo.TrainingJob{Opts: f.Opts.TrainOpts}
+	if _, _, err := job.Run(f.Registry, benign); err != nil {
+		return err
+	}
+	models, _, err := smo.Deploy(f.Registry, "mobiwatch")
+	if err != nil {
+		return err
+	}
+	f.Models = models
+	return nil
+}
+
+// DeployXApps registers and starts MobiWatch and the LLM Analyzer. Train
+// (or assign Models) first.
+func (f *Framework) DeployXApps() error {
+	if f.Models == nil {
+		return fmt.Errorf("core: no models deployed; call Train first")
+	}
+	var err error
+	f.xappWatch, err = f.RIC.RegisterXApp("mobiwatch")
+	if err != nil {
+		return err
+	}
+	f.xappAnlz, err = f.RIC.RegisterXApp("llm-analyzer")
+	if err != nil {
+		return err
+	}
+	f.watch, err = mobiwatch.Run(f.xappWatch, f.Models, mobiwatch.RunOptions{
+		NodeID:       f.Opts.NodeID,
+		ReportPeriod: f.Opts.ReportPeriod,
+	})
+	if err != nil {
+		return err
+	}
+	client := llm.NewClient(f.llmAddr, f.Opts.LLMModel)
+	client.RAG = f.Opts.LLMRAG
+	f.anlz = analyzer.New(client, f.SDL)
+	go f.pump()
+
+	// A1 policy feed: operator threshold changes apply to the running
+	// detector without redeployment.
+	events, cancel := f.A1.Watch(16)
+	f.a1Cancel = cancel
+	go func() {
+		for ev := range events {
+			if ev.Deleted {
+				continue
+			}
+			policy, ok := f.A1.Get(ev.Key)
+			if !ok {
+				continue
+			}
+			if policy.ThresholdPercentile > 0 {
+				// Invalid percentiles are operator error; the policy
+				// simply does not take effect.
+				_ = f.watch.SetThresholdPercentile(policy.ThresholdPercentile)
+			}
+		}
+	}()
+	return nil
+}
+
+// Watch exposes the MobiWatch runtime (nil before DeployXApps).
+func (f *Framework) Watch() *mobiwatch.Runtime { return f.watch }
+
+// pump processes alerts into cases, deduplicating overlapping windows so
+// one incident yields one LLM round trip.
+func (f *Framework) pump() {
+	defer close(f.cases)
+	var lastSeq uint64
+	for alert := range f.watch.Alerts() {
+		windowEnd := alert.Window[len(alert.Window)-1].Seq
+		if windowEnd <= lastSeq {
+			continue // overlaps an already-analyzed incident
+		}
+		lastSeq = windowEnd
+		c, err := f.anlz.Process(alert)
+		if err != nil {
+			continue
+		}
+		if f.Opts.AutoRespond && c.Control != nil {
+			if err := f.SendControl(c.Control); err == nil {
+				f.controlsSent.Add(1)
+			}
+		}
+		select {
+		case f.cases <- c:
+		default:
+			f.casesDropped.Add(1)
+		}
+	}
+}
+
+// SendControl issues an E2SM-XRC control action toward the gNB.
+func (f *Framework) SendControl(req *e2sm.ControlRequest) error {
+	return f.xappAnlz.Control(f.Opts.NodeID, e2sm.XRCRANFunctionID, nil, asn1lite.Marshal(req))
+}
+
+// Cases streams processed incidents (after DeployXApps).
+func (f *Framework) Cases() <-chan *analyzer.Case { return f.cases }
+
+// ControlsSent reports how many closed-loop actions were applied.
+func (f *Framework) ControlsSent() uint64 { return f.controlsSent.Load() }
+
+// WatchStats exposes the MobiWatch runtime counters (nil before deploy).
+func (f *Framework) WatchStats() *mobiwatch.Stats {
+	if f.watch == nil {
+		return nil
+	}
+	return f.watch.Stats()
+}
+
+// AnalyzerStats exposes the analyzer counters (nil before deploy).
+func (f *Framework) AnalyzerStats() *analyzer.Stats {
+	if f.anlz == nil {
+		return nil
+	}
+	return f.anlz.Stats()
+}
+
+// Analyzer exposes the analyzer xApp (nil before deploy).
+func (f *Framework) Analyzer() *analyzer.Analyzer { return f.anlz }
+
+// Close shuts everything down.
+func (f *Framework) Close() {
+	if f.a1Cancel != nil {
+		f.a1Cancel()
+	}
+	if f.watch != nil {
+		f.watch.Stop()
+	}
+	f.RIC.Close()
+	if f.llmShutdown != nil {
+		f.llmShutdown()
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/smo"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// newTrainedFramework assembles a framework with trained, deployed xApps.
+func newTrainedFramework(t *testing.T, auto bool) *Framework {
+	t.Helper()
+	fw, err := New(Options{
+		Seed:         3,
+		ReportPeriod: 5 * time.Millisecond,
+		TrainOpts:    mobiwatch.TrainOptions{Epochs: 15, Seed: 7},
+		AutoRespond:  auto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fw.Close)
+
+	benign, err := fw.CollectBenign(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Train(benign); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.DeployXApps(); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestEndToEndDetectionAndExplanation(t *testing.T) {
+	fw := newTrainedFramework(t, false)
+
+	// Benign traffic must flow silently.
+	u := fw.NewUE(ue.Pixel5, 100)
+	u.Profile.RetransProb = 0
+	if _, err := u.RunSession(fw.GNB); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case c := <-fw.Cases():
+		t.Fatalf("benign traffic produced case: %+v", c)
+	default:
+	}
+
+	// Launch a BTS DoS; the pipeline must detect and explain it.
+	attacker := fw.NewUE(ue.OAIUE, 101)
+	attacker.Profile.RetransProb = 0
+	attacker.Pace = func() { fw.Clock().Advance(500 * time.Microsecond) }
+	if _, err := attacker.RunBTSDoS(fw.GNB, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first alerts fire while the flood is still building, so the
+	// LLM may initially disagree (those cases go to the human queue);
+	// once the storm pattern fills the context window, detector and LLM
+	// converge on the classification.
+	deadline := time.After(5 * time.Second)
+	total := 0
+	for {
+		select {
+		case c := <-fw.Cases():
+			total++
+			if c.Analysis == nil || c.Analysis.Verdict != llm.VerdictAnomalous {
+				continue // ambiguous early case → human review path
+			}
+			if c.Analysis.TopClass() != llm.ClassBTSDoS {
+				t.Errorf("classification = %v, want BTS DoS", c.Analysis.TopClass())
+			}
+			if !c.Agree || c.NeedsHuman {
+				t.Errorf("agreement flags: agree=%v human=%v", c.Agree, c.NeedsHuman)
+			}
+			if c.Control == nil || c.Control.Action != e2sm.ControlReleaseUE {
+				t.Errorf("control = %+v", c.Control)
+			}
+			if len(c.Analysis.Remediation) == 0 || c.Analysis.Explanation == "" {
+				t.Error("analysis lacks explanation/remediation")
+			}
+			return // success: a fully explained incident
+		case <-deadline:
+			st := fw.WatchStats()
+			t.Fatalf("no anomalous case in %d cases (records=%d windows=%d alerts=%d)",
+				total, st.RecordsSeen.Load(), st.WindowsScored.Load(), st.AlertsRaised.Load())
+		}
+	}
+}
+
+func TestClosedLoopAutoResponse(t *testing.T) {
+	fw := newTrainedFramework(t, true)
+
+	attacker := fw.NewUE(ue.OAIUE, 200)
+	attacker.Profile.RetransProb = 0
+	attacker.Pace = func() { fw.Clock().Advance(500 * time.Microsecond) }
+	if _, err := attacker.RunBTSDoS(fw.GNB, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// The closed loop must fire at least one control action.
+	deadline := time.Now().Add(5 * time.Second)
+	for fw.ControlsSent() == 0 && time.Now().Before(deadline) {
+		select {
+		case <-fw.Cases():
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if fw.ControlsSent() == 0 {
+		t.Fatal("no closed-loop control applied")
+	}
+	// The control was a release: attacker contexts must shrink below
+	// the full flood size.
+	if n := fw.GNB.ActiveUEs(); n >= 8 {
+		t.Errorf("ActiveUEs = %d after release control", n)
+	}
+}
+
+func TestFrameworkValidation(t *testing.T) {
+	fw, err := New(Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	if err := fw.DeployXApps(); err == nil {
+		t.Error("DeployXApps before Train succeeded")
+	}
+	// Registry is empty; Train with garbage fails.
+	if err := fw.Train(nil); err == nil {
+		t.Error("Train(nil) succeeded")
+	}
+}
+
+func TestA1PolicyAdjustsLiveThresholds(t *testing.T) {
+	fw := newTrainedFramework(t, false)
+	aeBefore, lstmBefore := fw.Watch().Thresholds()
+
+	if err := fw.A1.Put(smo.Policy{ID: "mobiwatch", ThresholdPercentile: 90}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ae, lstm := fw.Watch().Thresholds()
+		if ae < aeBefore && lstm < lstmBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("thresholds unchanged: ae %g->%g lstm %g->%g", aeBefore, ae, lstmBefore, lstm)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFrameworkSMOWorkflowVisible(t *testing.T) {
+	fw := newTrainedFramework(t, false)
+	// The training run published a bundle version.
+	if _, v, ok := fw.Registry.Latest("mobiwatch"); !ok || v != 1 {
+		t.Errorf("registry latest = v%d ok=%v", v, ok)
+	}
+	// The expert endpoint is live and hosts five models.
+	client := llm.NewClient(fw.LLMBaseURL(), "gemini")
+	models, err := client.Models()
+	if err != nil || len(models) != 5 {
+		t.Errorf("models = %v err=%v", models, err)
+	}
+}

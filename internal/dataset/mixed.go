@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// Labeled is a dataset with per-record ground truth, following the
+// paper's labeling rules (§4): benign records are benign; in attack
+// captures each malicious telemetry entry x_i is identified, and any
+// window containing one is malicious (the window rule lives in
+// internal/feature).
+type Labeled struct {
+	Trace mobiflow.Trace
+	// Malicious flags each record.
+	Malicious []bool
+	// AttackOf maps each record to its attack kind, or -1 for benign
+	// context records. Used by the Figure 4 grouping.
+	AttackOf []int
+	// Events lists the executed attack instances in order.
+	Events []AttackEvent
+}
+
+// AttackEvent describes one executed attack instance.
+type AttackEvent struct {
+	Kind     ue.AttackKind
+	Instance int
+	// UEIDs are the contexts the attack consumed.
+	UEIDs []uint64
+}
+
+// MixedConfig parameterizes the attack-dataset generation.
+type MixedConfig struct {
+	BenignConfig
+	// InstancesPerAttack is how many times each of the five attacks
+	// runs (default 2, interleaved with benign traffic).
+	InstancesPerAttack int
+	// BenignBetween is how many benign sessions run between attack
+	// instances (default 3).
+	BenignBetween int
+}
+
+func (c *MixedConfig) defaults() {
+	c.BenignConfig.defaults()
+	if c.InstancesPerAttack == 0 {
+		c.InstancesPerAttack = 2
+	}
+	if c.BenignBetween == 0 {
+		c.BenignBetween = 3
+	}
+}
+
+// attackOrder is the execution order; instances of all five kinds are
+// interleaved with benign traffic.
+var attackOrder = []ue.AttackKind{
+	ue.AttackBTSDoS, ue.AttackBlindDoS, ue.AttackUplinkIDExtraction,
+	ue.AttackDownlinkIDExtraction, ue.AttackNullCipher,
+}
+
+// GenerateMixed produces the attack dataset: benign background traffic
+// with attack instances of all five kinds injected, plus ground truth.
+func GenerateMixed(cfg MixedConfig) (*Labeled, error) {
+	cfg.defaults()
+	s, err := NewScenario(cfg.BenignConfig)
+	if err != nil {
+		return nil, err
+	}
+
+	// A victim registers first so DoS attacks have a TMSI to replay.
+	victim := s.Fleet[0]
+	vres, err := victim.RunSession(s.GNB)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: victim session: %w", err)
+	}
+	victimTMSI := vres.GUTI.TMSI
+	if !victim.Profile.Deregisters {
+		s.GNB.ReleaseUE(vres.UEID)
+		s.AMF.ReleaseUE(vres.UEID)
+	}
+
+	// A dedicated attacker SIM (provisioned last in the fleet).
+	attacker := s.Fleet[len(s.Fleet)-1]
+
+	var events []AttackEvent
+	benignCursor := 1
+	for instance := 0; instance < cfg.InstancesPerAttack; instance++ {
+		for _, kind := range attackOrder {
+			// Benign interlude.
+			for b := 0; b < cfg.BenignBetween; b++ {
+				u := s.Fleet[benignCursor%len(s.Fleet)]
+				benignCursor++
+				if u == attacker {
+					u = s.Fleet[benignCursor%len(s.Fleet)]
+					benignCursor++
+				}
+				res, err := u.RunSession(s.GNB)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: benign interlude: %w", err)
+				}
+				if !u.Profile.Deregisters {
+					s.GNB.ReleaseUE(res.UEID)
+					s.AMF.ReleaseUE(res.UEID)
+				}
+				s.Clock.Advance(time.Duration(300) * time.Millisecond)
+			}
+
+			res, err := runAttack(s, attacker, kind, victimTMSI)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s instance %d: %w", kind, instance, err)
+			}
+			events = append(events, AttackEvent{Kind: kind, Instance: instance, UEIDs: res.UEIDs})
+			// Clean attacker contexts (inactivity release) so later
+			// attacks start fresh.
+			for _, id := range res.UEIDs {
+				s.GNB.ReleaseUE(id)
+				s.AMF.ReleaseUE(id)
+			}
+			s.Clock.Advance(time.Second)
+		}
+	}
+
+	tr := s.GNB.Records()
+	labeled := &Labeled{Trace: tr, Events: events}
+	labeled.label()
+	return labeled, nil
+}
+
+func runAttack(s *Scenario, attacker *ue.UE, kind ue.AttackKind, victimTMSI cell.TMSI) (ue.AttackResult, error) {
+	switch kind {
+	case ue.AttackBTSDoS:
+		// Floods are machine-paced: messages arrive in a burst, far
+		// faster than any real device's signalling cadence.
+		defer s.withBurstPace(attacker)()
+		return attacker.RunBTSDoS(s.GNB, 8)
+	case ue.AttackBlindDoS:
+		defer s.withBurstPace(attacker)()
+		return attacker.RunBlindDoS(s.GNB, victimTMSI, 6)
+	case ue.AttackUplinkIDExtraction:
+		return attacker.RunUplinkIDExtraction(s.GNB)
+	case ue.AttackDownlinkIDExtraction:
+		return attacker.RunDownlinkIDExtraction(s.GNB)
+	case ue.AttackNullCipher:
+		return attacker.RunNullCipher(s.GNB)
+	default:
+		return ue.AttackResult{}, fmt.Errorf("dataset: unknown attack %v", kind)
+	}
+}
+
+// withBurstPace switches a UE to flood pacing (sub-millisecond message
+// spacing) and returns a restore function.
+func (s *Scenario) withBurstPace(u *ue.UE) func() {
+	old := u.Pace
+	u.Pace = func() { s.Clock.Advance(500 * time.Microsecond) }
+	return func() { u.Pace = old }
+}
+
+// label derives per-record ground truth from the attack events. The
+// malicious-entry predicate is attack-specific, mirroring how the paper
+// manually identifies malicious entries:
+//
+//   - DoS attacks: every record of an attacker context is malicious (the
+//     whole fabricated session is the attack).
+//   - Identity extraction: the plaintext IdentityResponse entries are the
+//     malicious entries within an otherwise compliant session.
+//   - Null cipher: the security-mode entries selecting null algorithms
+//     and every subsequent record with null security active.
+func (l *Labeled) label() {
+	attackOf := make(map[uint64]ue.AttackKind)
+	for _, ev := range l.Events {
+		for _, id := range ev.UEIDs {
+			attackOf[id] = ev.Kind
+		}
+	}
+	l.Malicious = make([]bool, len(l.Trace))
+	l.AttackOf = make([]int, len(l.Trace))
+	for i, r := range l.Trace {
+		kind, isAttack := attackOf[r.UEID]
+		if !isAttack {
+			l.AttackOf[i] = -1
+			continue
+		}
+		l.AttackOf[i] = int(kind)
+		switch kind {
+		case ue.AttackBTSDoS, ue.AttackBlindDoS:
+			l.Malicious[i] = true
+		case ue.AttackUplinkIDExtraction, ue.AttackDownlinkIDExtraction:
+			l.Malicious[i] = r.Msg == "IdentityResponse"
+		case ue.AttackNullCipher:
+			nullSMC := r.Msg == "NASSecurityModeCommand" && r.CipherAlg.Null() && r.IntegAlg.Null()
+			nullActive := r.SecurityOn && (r.CipherAlg.Null() || r.IntegAlg.Null())
+			l.Malicious[i] = nullSMC || nullActive
+		}
+	}
+}
+
+// MaliciousCount reports how many records are labeled malicious.
+func (l *Labeled) MaliciousCount() int {
+	n := 0
+	for _, m := range l.Malicious {
+		if m {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/f1ap"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/pcaplite"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// ParseCapture replays an instrumented F1AP/NGAP capture into MOBIFLOW
+// telemetry — the offline path of §4 ("parsed into MOBIFLOW security
+// telemetry formats"). It reproduces the RIC agent's extraction policy,
+// so a capture of a live run parses into the same telemetry sequence the
+// online extractor produced.
+//
+// NAS is fully visible inside the F1AP RRC containers (information
+// transfers, setup complete, reconfiguration), so NGAP packets carry no
+// additional telemetry and are skipped.
+func ParseCapture(r io.Reader) (mobiflow.Trace, error) {
+	var current time.Time
+	ex := mobiflow.NewExtractor(func() time.Time { return current })
+	pr := pcaplite.NewReader(r)
+
+	var trace mobiflow.Trace
+	lastUL := make(map[uint64][]byte)
+	for {
+		pkt, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return trace, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading capture: %w", err)
+		}
+		if pkt.Iface != pcaplite.IfF1AP {
+			continue
+		}
+		current = pkt.Timestamp
+
+		f1msg, err := f1ap.Decode(pkt.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: F1AP packet: %w", err)
+		}
+		if len(f1msg.RRCContainer) == 0 {
+			continue
+		}
+		rrcMsg, err := rrc.Decode(f1msg.RRCContainer)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: RRC container: %w", err)
+		}
+		ueID := f1msg.DUUEID
+
+		uplink := f1msg.Type == f1ap.TypeInitialULRRCTransfer || f1msg.Type == f1ap.TypeULRRCTransfer
+		retx := false
+		if uplink {
+			retx = lastUL[ueID] != nil && bytes.Equal(lastUL[ueID], f1msg.RRCContainer)
+			lastUL[ueID] = f1msg.RRCContainer
+		}
+
+		switch m := rrcMsg.(type) {
+		case *rrc.ULInformationTransfer:
+			if rec, ok := parseNAS(ex, ueID, m.NASPDU, retx); ok {
+				trace = append(trace, rec)
+			}
+		case *rrc.DLInformationTransfer:
+			if rec, ok := parseNAS(ex, ueID, m.NASPDU, false); ok {
+				trace = append(trace, rec)
+			}
+		case *rrc.SetupComplete:
+			trace = append(trace, ex.OnRRC(ueID, f1msg.RNTI, rrcMsg, retx))
+			if rec, ok := parseNAS(ex, ueID, m.NASPDU, retx); ok {
+				trace = append(trace, rec)
+			}
+		case *rrc.Reconfiguration:
+			trace = append(trace, ex.OnRRC(ueID, f1msg.RNTI, rrcMsg, retx))
+			if len(m.NASPDU) > 0 {
+				if rec, ok := parseNAS(ex, ueID, m.NASPDU, false); ok {
+					trace = append(trace, rec)
+				}
+			}
+		default:
+			trace = append(trace, ex.OnRRC(ueID, f1msg.RNTI, rrcMsg, retx))
+			if rrcMsg.Type() == rrc.TypeRelease {
+				ex.ReleaseUE(ueID)
+				delete(lastUL, ueID)
+			}
+		}
+	}
+}
+
+func parseNAS(ex *mobiflow.Extractor, ueID uint64, pdu []byte, retx bool) (mobiflow.Record, bool) {
+	if len(pdu) == 0 {
+		return mobiflow.Record{}, false
+	}
+	nasMsg, err := nas.Decode(pdu)
+	if err != nil {
+		return mobiflow.Record{}, false
+	}
+	return ex.OnNAS(ueID, nasMsg, retx), true
+}

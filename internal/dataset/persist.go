@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"time"
+
+	"encoding/json"
+	"fmt"
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+	"io"
+
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// This file persists labeled datasets, supporting the paper's open-science
+// release of its traces: a labeled capture round-trips through a single
+// JSON document (trace in the MOBIFLOW CSV columns plus per-record ground
+// truth and the attack-event index).
+
+// labeledJSON is the serialized form of a Labeled dataset.
+type labeledJSON struct {
+	Version   int               `json:"version"`
+	Records   []json.RawMessage `json:"records"`
+	Malicious []bool            `json:"malicious"`
+	AttackOf  []int             `json:"attack_of"`
+	Events    []attackEventJSON `json:"events"`
+}
+
+type attackEventJSON struct {
+	Kind     uint8    `json:"kind"`
+	Instance int      `json:"instance"`
+	UEIDs    []uint64 `json:"ue_ids"`
+}
+
+// recordJSON mirrors mobiflow.Record for stable serialization.
+type recordJSON struct {
+	Seq            uint64 `json:"seq"`
+	TimestampNS    int64  `json:"ts_ns"`
+	UEID           uint64 `json:"ue_id"`
+	Msg            string `json:"msg"`
+	Layer          uint8  `json:"layer"`
+	Dir            uint8  `json:"dir"`
+	RNTI           uint16 `json:"rnti"`
+	TMSI           uint32 `json:"tmsi"`
+	SUPI           string `json:"supi,omitempty"`
+	CipherAlg      uint8  `json:"cipher"`
+	IntegAlg       uint8  `json:"integ"`
+	SecurityOn     bool   `json:"sec_on"`
+	EstCause       uint8  `json:"cause"`
+	RRCState       uint8  `json:"rrc_state"`
+	NASState       uint8  `json:"nas_state"`
+	OutOfOrder     bool   `json:"ooo,omitempty"`
+	Retransmission bool   `json:"retx,omitempty"`
+}
+
+// Write serializes the labeled dataset as JSON.
+func (l *Labeled) Write(w io.Writer) error {
+	doc := labeledJSON{
+		Version:   1,
+		Malicious: l.Malicious,
+		AttackOf:  l.AttackOf,
+	}
+	for i := range l.Trace {
+		r := &l.Trace[i]
+		rec := recordJSON{
+			Seq: r.Seq, TimestampNS: r.Timestamp.UnixNano(), UEID: r.UEID,
+			Msg: r.Msg, Layer: uint8(r.Layer), Dir: uint8(r.Dir),
+			RNTI: uint16(r.RNTI), TMSI: uint32(r.TMSI), SUPI: string(r.SUPI),
+			CipherAlg: uint8(r.CipherAlg), IntegAlg: uint8(r.IntegAlg),
+			SecurityOn: r.SecurityOn, EstCause: uint8(r.EstCause),
+			RRCState: uint8(r.RRCState), NASState: uint8(r.NASState),
+			OutOfOrder: r.OutOfOrder, Retransmission: r.Retransmission,
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("dataset: encoding record %d: %w", i, err)
+		}
+		doc.Records = append(doc.Records, data)
+	}
+	for _, ev := range l.Events {
+		doc.Events = append(doc.Events, attackEventJSON{Kind: uint8(ev.Kind), Instance: ev.Instance, UEIDs: ev.UEIDs})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadLabeled parses a dataset written by Write.
+func ReadLabeled(r io.Reader) (*Labeled, error) {
+	var doc labeledJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dataset: parsing labeled dataset: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("dataset: unsupported version %d", doc.Version)
+	}
+	if len(doc.Malicious) != len(doc.Records) || len(doc.AttackOf) != len(doc.Records) {
+		return nil, fmt.Errorf("dataset: label arrays misaligned with %d records", len(doc.Records))
+	}
+	l := &Labeled{Malicious: doc.Malicious, AttackOf: doc.AttackOf}
+	for i, raw := range doc.Records {
+		var rec recordJSON
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i, err)
+		}
+		l.Trace = append(l.Trace, rec.toRecord())
+	}
+	for _, ev := range doc.Events {
+		l.Events = append(l.Events, AttackEvent{Kind: ue.AttackKind(ev.Kind), Instance: ev.Instance, UEIDs: ev.UEIDs})
+	}
+	return l, nil
+}
+
+func (rec recordJSON) toRecord() mobiflow.Record {
+	return recordFromFields(rec)
+}
+
+func recordFromFields(rec recordJSON) mobiflow.Record {
+	return mobiflow.Record{
+		Seq:            rec.Seq,
+		Timestamp:      time.Unix(0, rec.TimestampNS).UTC(),
+		UEID:           rec.UEID,
+		Msg:            rec.Msg,
+		Layer:          mobiflow.Layer(rec.Layer),
+		Dir:            cell.Direction(rec.Dir),
+		RNTI:           cell.RNTI(rec.RNTI),
+		TMSI:           cell.TMSI(rec.TMSI),
+		SUPI:           cell.SUPI(rec.SUPI),
+		CipherAlg:      cell.CipherAlg(rec.CipherAlg),
+		IntegAlg:       cell.IntegAlg(rec.IntegAlg),
+		SecurityOn:     rec.SecurityOn,
+		EstCause:       cell.EstablishmentCause(rec.EstCause),
+		RRCState:       rrc.State(rec.RRCState),
+		NASState:       nas.State(rec.NASState),
+		OutOfOrder:     rec.OutOfOrder,
+		Retransmission: rec.Retransmission,
+	}
+}

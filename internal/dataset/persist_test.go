@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLabeledRoundTrip(t *testing.T) {
+	in, err := GenerateMixed(MixedConfig{
+		BenignConfig:       BenignConfig{Fleet: 6, Seed: 61},
+		InstancesPerAttack: 1,
+		BenignBetween:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadLabeled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Trace, out.Trace) {
+		t.Error("trace mismatch after round trip")
+	}
+	if !reflect.DeepEqual(in.Malicious, out.Malicious) || !reflect.DeepEqual(in.AttackOf, out.AttackOf) {
+		t.Error("labels mismatch after round trip")
+	}
+	if !reflect.DeepEqual(in.Events, out.Events) {
+		t.Errorf("events mismatch: %v vs %v", in.Events, out.Events)
+	}
+	if in.MaliciousCount() != out.MaliciousCount() {
+		t.Error("malicious counts differ")
+	}
+}
+
+func TestReadLabeledErrors(t *testing.T) {
+	if _, err := ReadLabeled(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadLabeled(strings.NewReader(`{"version":2}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := ReadLabeled(strings.NewReader(`{"version":1,"records":[{}],"malicious":[],"attack_of":[]}`)); err == nil {
+		t.Error("misaligned labels accepted")
+	}
+}

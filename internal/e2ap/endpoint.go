@@ -1,0 +1,56 @@
+package e2ap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/6g-xsec/xsec/internal/wire"
+)
+
+// Endpoint sends and receives E2AP messages over a framed connection. It
+// is used by both sides of the E2 interface: the gNB's RIC agent and the
+// RIC's E2 Termination.
+type Endpoint struct {
+	conn    *wire.Conn
+	nextTxn atomic.Uint64
+}
+
+// NewEndpoint wraps an established framed connection.
+func NewEndpoint(conn *wire.Conn) *Endpoint {
+	return &Endpoint{conn: conn}
+}
+
+// Send encodes and transmits a message, assigning a fresh transaction ID
+// when the message has none.
+func (ep *Endpoint) Send(m *Message) error {
+	if m.TransactionID == 0 {
+		m.TransactionID = ep.nextTxn.Add(1)
+	}
+	if err := ep.conn.Send(Encode(m)); err != nil {
+		return fmt.Errorf("e2ap: sending %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv blocks for the next message. io.EOF signals a clean peer close.
+func (ep *Endpoint) Recv() (*Message, error) {
+	data, err := ep.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("e2ap: receiving: %w", err)
+	}
+	return m, nil
+}
+
+// Close closes the underlying connection.
+func (ep *Endpoint) Close() error { return ep.conn.Close() }
+
+// Pipe returns a connected in-process endpoint pair for tests and
+// loopback deployments.
+func Pipe() (*Endpoint, *Endpoint) {
+	a, b := wire.Pipe()
+	return NewEndpoint(a), NewEndpoint(b)
+}

@@ -1,0 +1,139 @@
+// Package f1ap implements the F1 Application Protocol subset (3GPP
+// TS 38.473) connecting the O-DU and O-CU in the simulated gNB: RRC
+// message transfer (initial/UL/DL) and UE context management. The 6G-XSec
+// paper's dataset pipeline "instruments the F1AP and NGAP interfaces to
+// obtain pcap streams, which are further parsed into MOBIFLOW security
+// telemetry" (§4); internal/pcaplite captures these PDUs and
+// internal/dataset parses them back.
+package f1ap
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/cell"
+)
+
+// MessageType discriminates F1AP procedure PDUs.
+type MessageType uint8
+
+// F1AP message types.
+const (
+	TypeInvalid MessageType = iota
+	TypeInitialULRRCTransfer
+	TypeULRRCTransfer
+	TypeDLRRCTransfer
+	TypeUEContextSetupRequest
+	TypeUEContextSetupResponse
+	TypeUEContextReleaseCommand
+	TypeUEContextReleaseComplete
+	typeCount
+)
+
+var typeNames = [...]string{
+	"Invalid",
+	"InitialULRRCMessageTransfer",
+	"ULRRCMessageTransfer",
+	"DLRRCMessageTransfer",
+	"UEContextSetupRequest",
+	"UEContextSetupResponse",
+	"UEContextReleaseCommand",
+	"UEContextReleaseComplete",
+}
+
+// String returns the TS 38.473 procedure name.
+func (t MessageType) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("MessageType(%d)", uint8(t))
+}
+
+// Valid reports whether t is defined.
+func (t MessageType) Valid() bool { return t > TypeInvalid && t < typeCount }
+
+// Message is one F1AP PDU.
+type Message struct {
+	Type MessageType
+	// DUUEID and CUUEID are the gNB-DU / gNB-CU UE F1AP IDs.
+	DUUEID uint64
+	CUUEID uint64
+	// RNTI is the C-RNTI (carried in initial transfer).
+	RNTI cell.RNTI
+	// RRCContainer is the encoded RRC PDU for transfer messages.
+	RRCContainer []byte
+	// Cause annotates release commands.
+	Cause string
+}
+
+// TLV tags.
+const (
+	tagType   = 1
+	tagDUUEID = 2
+	tagCUUEID = 3
+	tagRNTI   = 4
+	tagRRC    = 5
+	tagCause  = 6
+)
+
+// MarshalTLV implements asn1lite.Marshaler.
+func (m *Message) MarshalTLV(e *asn1lite.Encoder) {
+	e.PutUint(tagType, uint64(m.Type))
+	e.PutUint(tagDUUEID, m.DUUEID)
+	e.PutUint(tagCUUEID, m.CUUEID)
+	e.PutUint(tagRNTI, uint64(m.RNTI))
+	if m.RRCContainer != nil {
+		e.PutBytes(tagRRC, m.RRCContainer)
+	}
+	if m.Cause != "" {
+		e.PutString(tagCause, m.Cause)
+	}
+}
+
+// UnmarshalTLV implements asn1lite.Unmarshaler.
+func (m *Message) UnmarshalTLV(d *asn1lite.Decoder) error {
+	for d.Next() {
+		var err error
+		switch d.Tag() {
+		case tagType:
+			var v uint64
+			v, err = d.Uint()
+			m.Type = MessageType(v)
+		case tagDUUEID:
+			m.DUUEID, err = d.Uint()
+		case tagCUUEID:
+			m.CUUEID, err = d.Uint()
+		case tagRNTI:
+			var v uint64
+			v, err = d.Uint()
+			m.RNTI = cell.RNTI(v)
+		case tagRRC:
+			m.RRCContainer, err = d.Bytes()
+		case tagCause:
+			m.Cause, err = d.String()
+		}
+		if err != nil {
+			return fmt.Errorf("f1ap: tag %d: %w", d.Tag(), err)
+		}
+	}
+	return d.Err()
+}
+
+// ErrBadMessage reports a structurally invalid F1AP PDU.
+var ErrBadMessage = errors.New("f1ap: invalid message")
+
+// Encode serializes a message.
+func Encode(m *Message) []byte { return asn1lite.Marshal(m) }
+
+// Decode parses and validates a message.
+func Decode(data []byte) (*Message, error) {
+	var m Message
+	if err := asn1lite.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("type %d: %w", m.Type, ErrBadMessage)
+	}
+	return &m, nil
+}

@@ -1,0 +1,51 @@
+package f1ap
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeInitialULRRCTransfer, DUUEID: 1, RNTI: 0x4601, RRCContainer: []byte{1, 2, 3}},
+		{Type: TypeULRRCTransfer, DUUEID: 1, CUUEID: 2, RRCContainer: []byte{4}},
+		{Type: TypeDLRRCTransfer, DUUEID: 1, CUUEID: 2, RRCContainer: []byte{5, 6}},
+		{Type: TypeUEContextSetupRequest, CUUEID: 2},
+		{Type: TypeUEContextSetupResponse, DUUEID: 1, CUUEID: 2},
+		{Type: TypeUEContextReleaseCommand, CUUEID: 2, Cause: "normal"},
+		{Type: TypeUEContextReleaseComplete, DUUEID: 1, CUUEID: 2},
+	}
+	for _, in := range msgs {
+		out, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in.Type, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%s mismatch:\n got %#v\nwant %#v", in.Type, out, in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode(Encode(&Message{Type: MessageType(99)})); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	if TypeInitialULRRCTransfer.String() != "InitialULRRCMessageTransfer" {
+		t.Errorf("got %q", TypeInitialULRRCTransfer.String())
+	}
+	if MessageType(88).String() != "MessageType(88)" {
+		t.Errorf("got %q", MessageType(88).String())
+	}
+}
+
+func TestQuickDecodeRobust(t *testing.T) {
+	f := func(data []byte) bool { Decode(data); return true }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

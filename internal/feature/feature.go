@@ -1,0 +1,369 @@
+// Package feature converts MOBIFLOW telemetry into the numeric windows
+// the MobiWatch models consume (§3.2 of the paper): categorical variables
+// are one-hot encoded, identity variables (RNTI, TMSI, SUPI) become
+// derived novelty/reuse indicators, and a sliding window of size N turns
+// the time series τ into sequences S_i = {x_i ... x_{i+N-1}}.
+//
+// The encoder is streaming and stateful: identity-derived features (fresh
+// RNTI, TMSI reuse across UE contexts) depend on what the encoder has
+// seen so far, mirroring how the xApp observes the live E2 stream.
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// Vocabulary maps message names to one-hot indices. It is built from
+// training traces and shipped alongside the model so training and
+// inference encode identically.
+type Vocabulary struct {
+	// Messages lists the known message names in index order.
+	Messages []string
+
+	index map[string]int
+}
+
+// BuildVocabulary collects the distinct message names across traces, in
+// sorted order for determinism.
+func BuildVocabulary(traces ...mobiflow.Trace) *Vocabulary {
+	seen := make(map[string]bool)
+	for _, tr := range traces {
+		for _, r := range tr {
+			seen[r.Msg] = true
+		}
+	}
+	msgs := make([]string, 0, len(seen))
+	for m := range seen {
+		msgs = append(msgs, m)
+	}
+	sort.Strings(msgs)
+	return NewVocabulary(msgs)
+}
+
+// NewVocabulary builds a vocabulary from an explicit message list.
+func NewVocabulary(messages []string) *Vocabulary {
+	v := &Vocabulary{Messages: append([]string(nil), messages...), index: make(map[string]int, len(messages))}
+	for i, m := range v.Messages {
+		v.index[m] = i
+	}
+	return v
+}
+
+// Index returns the one-hot index for a message name; unknown messages
+// map to the shared "unknown" bucket at index len(Messages).
+func (v *Vocabulary) Index(msg string) int {
+	if i, ok := v.index[msg]; ok {
+		return i
+	}
+	return len(v.Messages)
+}
+
+// Size returns the number of message slots including the unknown bucket.
+func (v *Vocabulary) Size() int { return len(v.Messages) + 1 }
+
+// Fixed widths of the non-message feature groups.
+const (
+	widthDirection = 1
+	widthLayer     = 1
+	widthCipher    = 4 // NEA0..NEA3
+	widthInteg     = 4 // NIA0..NIA3
+	widthSecOn     = 1
+	widthCause     = 10 // establishment causes
+	widthRRCState  = 6
+	widthNASState  = 6
+	widthFlags     = 2 // out-of-order, retransmission
+	// Derived identity/state features: rntiFresh, tmsiReuse,
+	// tmsiPresent, supiExposed, nullSecActive, incompleteLoad,
+	// floodIndicator, interArrival, burstIndicator.
+	widthDerived = 9
+)
+
+// floodThreshold is the concurrent-incomplete-session count above which
+// the flood indicator fires; benign traffic keeps at most a couple of
+// procedures in flight, a signaling storm accumulates many (Figure 2b).
+const floodThreshold = 3
+
+// incompleteLoadCap normalizes the incomplete-session counter.
+const incompleteLoadCap = 8
+
+// burstInterval is the inter-arrival time below which the burst indicator
+// fires. Human-paced devices emit control messages with multi-millisecond
+// processing and radio-scheduling delays; a flood arrives faster.
+const burstInterval = 5 * time.Millisecond
+
+// interArrivalCap caps the log-scaled inter-arrival feature (1 s and
+// beyond saturate to 1).
+const interArrivalCapMS = 1000.0
+
+// Dim returns the per-record feature dimension for a vocabulary.
+func Dim(v *Vocabulary) int {
+	return v.Size() + widthDirection + widthLayer + widthCipher + widthInteg +
+		widthSecOn + widthCause + widthRRCState + widthNASState + widthFlags + widthDerived
+}
+
+// Encoder streams Records into feature vectors. Not safe for concurrent
+// use; MobiWatch owns one per subscription.
+type Encoder struct {
+	vocab *Vocabulary
+
+	rntiSeen  map[cell.RNTI]bool
+	tmsiOwner map[cell.TMSI]uint64
+	// incomplete tracks UE contexts whose registration procedure is in
+	// flight; its size is the RAN's "incomplete load", the multivariate
+	// DoS signature (many fabricated sessions stuck before completion).
+	incomplete map[uint64]bool
+	// lastTS is the previous record's timestamp for inter-arrival
+	// features (zero until the first record).
+	lastTS time.Time
+}
+
+// NewEncoder returns an Encoder over vocab with empty identity history.
+func NewEncoder(vocab *Vocabulary) *Encoder {
+	return &Encoder{
+		vocab:      vocab,
+		rntiSeen:   make(map[cell.RNTI]bool),
+		tmsiOwner:  make(map[cell.TMSI]uint64),
+		incomplete: make(map[uint64]bool),
+	}
+}
+
+// Reset clears the identity history (e.g. between independent captures).
+func (e *Encoder) Reset() {
+	e.rntiSeen = make(map[cell.RNTI]bool)
+	e.tmsiOwner = make(map[cell.TMSI]uint64)
+	e.incomplete = make(map[uint64]bool)
+}
+
+// Dim returns the output dimension of Encode.
+func (e *Encoder) Dim() int { return Dim(e.vocab) }
+
+// Encode converts one record into its feature vector, updating the
+// identity history.
+func (e *Encoder) Encode(r mobiflow.Record) []float64 {
+	out := make([]float64, e.Dim())
+	pos := 0
+
+	// Message one-hot (with unknown bucket).
+	out[pos+e.vocab.Index(r.Msg)] = 1
+	pos += e.vocab.Size()
+
+	// Direction and layer.
+	if r.Dir == cell.Uplink {
+		out[pos] = 1
+	}
+	pos += widthDirection
+	if r.Layer == mobiflow.LayerNAS {
+		out[pos] = 1
+	}
+	pos += widthLayer
+
+	// Security algorithms.
+	if int(r.CipherAlg) < widthCipher {
+		out[pos+int(r.CipherAlg)] = 1
+	}
+	pos += widthCipher
+	if int(r.IntegAlg) < widthInteg {
+		out[pos+int(r.IntegAlg)] = 1
+	}
+	pos += widthInteg
+	if r.SecurityOn {
+		out[pos] = 1
+	}
+	pos += widthSecOn
+
+	// Establishment cause.
+	if int(r.EstCause) < widthCause {
+		out[pos+int(r.EstCause)] = 1
+	}
+	pos += widthCause
+
+	// Protocol states.
+	if int(r.RRCState) < widthRRCState {
+		out[pos+int(r.RRCState)] = 1
+	}
+	pos += widthRRCState
+	if int(r.NASState) < widthNASState {
+		out[pos+int(r.NASState)] = 1
+	}
+	pos += widthNASState
+
+	// Protocol flags.
+	if r.OutOfOrder {
+		out[pos] = 1
+	}
+	if r.Retransmission {
+		out[pos+1] = 1
+	}
+	pos += widthFlags
+
+	// Derived identity features.
+	rntiFresh := r.RNTI != cell.InvalidRNTI && !e.rntiSeen[r.RNTI]
+	if r.RNTI != cell.InvalidRNTI {
+		e.rntiSeen[r.RNTI] = true
+	}
+	tmsiReuse := false
+	if r.TMSI != cell.InvalidTMSI {
+		if owner, ok := e.tmsiOwner[r.TMSI]; ok && owner != r.UEID {
+			tmsiReuse = true
+		}
+		e.tmsiOwner[r.TMSI] = r.UEID
+	}
+	if rntiFresh {
+		out[pos] = 1
+	}
+	if tmsiReuse {
+		out[pos+1] = 1
+	}
+	if r.TMSI != cell.InvalidTMSI {
+		out[pos+2] = 1
+	}
+	if r.SUPI != "" && !r.SecurityOn {
+		out[pos+3] = 1 // plaintext permanent identity exposure
+	}
+	if r.SecurityOn && (r.CipherAlg.Null() || r.IntegAlg.Null()) {
+		out[pos+4] = 1 // null security actively selected
+	}
+
+	// Incomplete-session load: how many UE contexts have a registration
+	// procedure in flight. Released or registered contexts leave the
+	// set; abandoned ones accumulate — the resource-exhaustion footprint
+	// of the DoS attacks.
+	switch {
+	case r.RRCState == rrc.StateReleased:
+		delete(e.incomplete, r.UEID)
+	case r.NASState == nas.StateRegistered:
+		e.incomplete[r.UEID] = false
+	default:
+		e.incomplete[r.UEID] = true
+	}
+	load := 0
+	for _, inFlight := range e.incomplete {
+		if inFlight {
+			load++
+		}
+	}
+	if load > incompleteLoadCap {
+		load = incompleteLoadCap
+	}
+	out[pos+5] = float64(load) / incompleteLoadCap
+	if load >= floodThreshold {
+		out[pos+6] = 1
+	}
+
+	// Inter-arrival time (t_i − t_{i−1}), log-scaled, plus a burst
+	// indicator: control messages arriving faster than any real device
+	// signals machine-generated flooding.
+	if !e.lastTS.IsZero() && !r.Timestamp.IsZero() {
+		dt := r.Timestamp.Sub(e.lastTS)
+		if dt < 0 {
+			dt = 0
+		}
+		ms := float64(dt) / float64(time.Millisecond)
+		scaled := math.Log10(ms+1) / math.Log10(interArrivalCapMS+1)
+		if scaled > 1 {
+			scaled = 1
+		}
+		out[pos+7] = scaled
+		if dt < burstInterval {
+			out[pos+8] = 1
+		}
+	} else {
+		out[pos+7] = 0.5 // unknown: neutral midpoint
+	}
+	if !r.Timestamp.IsZero() {
+		e.lastTS = r.Timestamp
+	}
+	pos += widthDerived
+
+	if pos != len(out) {
+		panic(fmt.Sprintf("feature: encoded %d of %d dims", pos, len(out)))
+	}
+	return out
+}
+
+// Vectorize encodes an entire trace with a fresh Encoder.
+func Vectorize(tr mobiflow.Trace, vocab *Vocabulary) [][]float64 {
+	e := NewEncoder(vocab)
+	out := make([][]float64, len(tr))
+	for i, r := range tr {
+		out[i] = e.Encode(r)
+	}
+	return out
+}
+
+// WindowsAE slides a window of size n over vecs and flattens each window
+// into a single vector for the autoencoder: len(out) == len(vecs)-n+1.
+func WindowsAE(vecs [][]float64, n int) [][]float64 {
+	if n <= 0 || len(vecs) < n {
+		return nil
+	}
+	dim := len(vecs[0])
+	out := make([][]float64, 0, len(vecs)-n+1)
+	for i := 0; i+n <= len(vecs); i++ {
+		w := make([]float64, 0, n*dim)
+		for j := i; j < i+n; j++ {
+			w = append(w, vecs[j]...)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// WindowsLSTM produces (window, next) pairs for next-step prediction:
+// window i is vecs[i:i+n] and next is vecs[i+n].
+func WindowsLSTM(vecs [][]float64, n int) (windows [][][]float64, nexts [][]float64) {
+	if n <= 0 || len(vecs) <= n {
+		return nil, nil
+	}
+	for i := 0; i+n < len(vecs); i++ {
+		windows = append(windows, vecs[i:i+n])
+		nexts = append(nexts, vecs[i+n])
+	}
+	return windows, nexts
+}
+
+// WindowLabels derives per-window labels from per-record labels using the
+// paper's rule (§4, Dataset Labeling): any window containing a malicious
+// record x_i is malicious, i.e. windows i-N+1 ... i for record i.
+// n is the window size; the result aligns with WindowsAE output.
+func WindowLabels(recordMalicious []bool, n int) []bool {
+	if n <= 0 || len(recordMalicious) < n {
+		return nil
+	}
+	out := make([]bool, len(recordMalicious)-n+1)
+	for i := range out {
+		for j := i; j < i+n; j++ {
+			if recordMalicious[j] {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WindowLabelsNext aligns labels with WindowsLSTM output: pair i covers
+// records i..i+n (window plus the predicted record).
+func WindowLabelsNext(recordMalicious []bool, n int) []bool {
+	if n <= 0 || len(recordMalicious) <= n {
+		return nil
+	}
+	out := make([]bool, len(recordMalicious)-n)
+	for i := range out {
+		for j := i; j <= i+n; j++ {
+			if recordMalicious[j] {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package gnb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+)
+
+// ServeE2 runs the gNB's RIC agent over an E2 connection: it performs the
+// E2 Setup handshake (advertising the E2SM-MOBIFLOW and E2SM-XRC RAN
+// functions), serves RIC subscriptions by periodically reporting drained
+// telemetry as RIC Indications, and applies RIC Control actions to the
+// data plane — the full Figure 3 agent role.
+//
+// ServeE2 blocks until the connection closes. Telemetry reporting is
+// single-consumer: concurrent report subscriptions share the drain.
+func (g *GNB) ServeE2(ep *e2ap.Endpoint) error {
+	if err := ep.Send(&e2ap.Message{
+		Type:   e2ap.TypeE2SetupRequest,
+		NodeID: g.cfg.NodeID,
+		RANFunctions: []e2ap.RANFunction{
+			{ID: e2sm.MobiFlowRANFunctionID, OID: e2sm.MobiFlowOID, Definition: asn1lite.Marshal(e2sm.MobiFlowFunctionDefinition())},
+			{ID: e2sm.XRCRANFunctionID, OID: e2sm.XRCOID, Definition: asn1lite.Marshal(e2sm.XRCFunctionDefinition())},
+		},
+	}); err != nil {
+		return fmt.Errorf("gnb: E2 setup: %w", err)
+	}
+	resp, err := ep.Recv()
+	if err != nil {
+		return fmt.Errorf("gnb: awaiting E2 setup response: %w", err)
+	}
+	if resp.Type != e2ap.TypeE2SetupResponse {
+		return fmt.Errorf("gnb: E2 setup rejected: %s (%s)", resp.Type, resp.Cause)
+	}
+
+	agent := &e2Agent{g: g, ep: ep, reporters: make(map[e2ap.RequestID]chan struct{})}
+	defer agent.stopAll()
+	for {
+		msg, err := ep.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		agent.handle(msg)
+	}
+}
+
+type e2Agent struct {
+	g  *GNB
+	ep *e2ap.Endpoint
+
+	mu        sync.Mutex
+	reporters map[e2ap.RequestID]chan struct{}
+}
+
+func (a *e2Agent) handle(msg *e2ap.Message) {
+	switch msg.Type {
+	case e2ap.TypeSubscriptionRequest:
+		a.subscribe(msg)
+	case e2ap.TypeSubscriptionDeleteRequest:
+		a.unsubscribe(msg)
+	case e2ap.TypeControlRequest:
+		a.control(msg)
+	}
+}
+
+func (a *e2Agent) subscribe(msg *e2ap.Message) {
+	if msg.RANFunctionID != e2sm.MobiFlowRANFunctionID {
+		a.ep.Send(&e2ap.Message{
+			Type: e2ap.TypeSubscriptionFailure, RequestID: msg.RequestID,
+			RANFunctionID: msg.RANFunctionID, Cause: "unsupported RAN function for report",
+		})
+		return
+	}
+	var trigger e2sm.EventTrigger
+	if err := asn1lite.Unmarshal(msg.EventTrigger, &trigger); err != nil || trigger.Period <= 0 {
+		a.ep.Send(&e2ap.Message{
+			Type: e2ap.TypeSubscriptionFailure, RequestID: msg.RequestID,
+			RANFunctionID: msg.RANFunctionID, Cause: "invalid event trigger",
+		})
+		return
+	}
+	var admitted []uint16
+	actionID := uint16(0)
+	for _, act := range msg.Actions {
+		if act.Type == e2ap.ActionReport {
+			admitted = append(admitted, act.ID)
+			actionID = act.ID
+		}
+	}
+	if len(admitted) == 0 {
+		a.ep.Send(&e2ap.Message{
+			Type: e2ap.TypeSubscriptionFailure, RequestID: msg.RequestID,
+			RANFunctionID: msg.RANFunctionID, Cause: "no report action",
+		})
+		return
+	}
+
+	stop := make(chan struct{})
+	a.mu.Lock()
+	if old, dup := a.reporters[msg.RequestID]; dup {
+		close(old)
+	}
+	a.reporters[msg.RequestID] = stop
+	a.mu.Unlock()
+
+	a.ep.Send(&e2ap.Message{
+		Type: e2ap.TypeSubscriptionResponse, RequestID: msg.RequestID,
+		RANFunctionID: msg.RANFunctionID, AdmittedActions: admitted,
+	})
+	go a.report(msg.RequestID, actionID, trigger.Period, stop)
+}
+
+// report drains telemetry every period and ships it as a RIC Indication.
+func (a *e2Agent) report(reqID e2ap.RequestID, actionID uint16, period time.Duration, stop chan struct{}) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	var batchSeq uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			tr := a.g.DrainRecords()
+			if len(tr) == 0 {
+				continue
+			}
+			batchSeq++
+			hdr := &e2sm.IndicationHeader{
+				NodeID:          a.g.cfg.NodeID,
+				CollectionStart: tr[0].Timestamp,
+				BatchSeq:        batchSeq,
+			}
+			err := a.ep.Send(&e2ap.Message{
+				Type:              e2ap.TypeIndication,
+				RequestID:         reqID,
+				RANFunctionID:     e2sm.MobiFlowRANFunctionID,
+				ActionID:          actionID,
+				IndicationSN:      batchSeq,
+				IndicationHeader:  asn1lite.Marshal(hdr),
+				IndicationMessage: e2sm.EncodeIndicationMessage(&e2sm.IndicationMessage{Records: tr}),
+			})
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (a *e2Agent) unsubscribe(msg *e2ap.Message) {
+	a.mu.Lock()
+	if stop, ok := a.reporters[msg.RequestID]; ok {
+		close(stop)
+		delete(a.reporters, msg.RequestID)
+	}
+	a.mu.Unlock()
+	a.ep.Send(&e2ap.Message{
+		Type: e2ap.TypeSubscriptionDeleteResponse, RequestID: msg.RequestID,
+		RANFunctionID: msg.RANFunctionID,
+	})
+}
+
+func (a *e2Agent) control(msg *e2ap.Message) {
+	fail := func(cause string) {
+		a.ep.Send(&e2ap.Message{Type: e2ap.TypeControlFailure, RequestID: msg.RequestID, Cause: cause})
+	}
+	if msg.RANFunctionID != e2sm.XRCRANFunctionID {
+		fail("unsupported RAN function for control")
+		return
+	}
+	var req e2sm.ControlRequest
+	if err := asn1lite.Unmarshal(msg.ControlMessage, &req); err != nil {
+		fail("undecodable control message")
+		return
+	}
+	switch req.Action {
+	case e2sm.ControlReleaseUE:
+		if err := a.g.ReleaseUE(req.UEID); err != nil {
+			fail(err.Error())
+			return
+		}
+	case e2sm.ControlBlockTMSI:
+		a.g.BlockTMSI(req.TMSI)
+	case e2sm.ControlRequireStrongSecurity:
+		a.g.RequireStrongSecurity(true)
+	default:
+		fail(fmt.Sprintf("unknown control action %d", req.Action))
+		return
+	}
+	a.ep.Send(&e2ap.Message{Type: e2ap.TypeControlAck, RequestID: msg.RequestID})
+}
+
+func (a *e2Agent) stopAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, stop := range a.reporters {
+		close(stop)
+		delete(a.reporters, id)
+	}
+}

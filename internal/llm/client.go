@@ -1,0 +1,179 @@
+package llm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+)
+
+// Client queries a model endpoint over REST (§3.3: "accesses the LLMs
+// through RESTful web APIs"). Point BaseURL at the built-in expert
+// service or at any compatible real endpoint.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// Model selects the personality / model identifier.
+	Model string
+	// RAG enables retrieval-augmented prompting: relevant 3GPP
+	// specification passages are retrieved from the knowledge base and
+	// appended to every prompt (§5, "Specialized LLM for 6G").
+	RAG bool
+	// Knowledge overrides the retrieval corpus (DefaultKnowledgeBase
+	// when nil and RAG is set).
+	Knowledge []KnowledgeEntry
+	// HTTPClient defaults to a client with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for one model at a base URL.
+func NewClient(baseURL, model string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		Model:      model,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// AnalyzeWindow renders the prompt for a telemetry window, queries the
+// model, and parses the structured analysis out of the response text.
+func (c *Client) AnalyzeWindow(window mobiflow.Trace) (*Analysis, error) {
+	if len(window) == 0 {
+		return nil, fmt.Errorf("llm: empty window")
+	}
+	prompt := RenderPrompt(window)
+	if c.RAG {
+		kb := c.Knowledge
+		if kb == nil {
+			kb = DefaultKnowledgeBase
+		}
+		prompt = AugmentPrompt(prompt, kb)
+	}
+	return c.AnalyzePromptText(prompt)
+}
+
+// AnalyzePromptText sends an already-rendered prompt.
+func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
+	body, err := json.Marshal(ChatRequest{Model: c.Model, Prompt: prompt})
+	if err != nil {
+		return nil, fmt.Errorf("llm: encoding request: %w", err)
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Post(c.BaseURL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("llm: querying %s: %w", c.Model, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&apiErr)
+		return nil, fmt.Errorf("llm: %s returned HTTP %d: %s", c.Model, resp.StatusCode, apiErr.Error)
+	}
+	var chat ChatResponse
+	if err := json.NewDecoder(resp.Body).Decode(&chat); err != nil {
+		return nil, fmt.Errorf("llm: decoding response: %w", err)
+	}
+	analysis, err := ParseResponse(chat.Text)
+	if err != nil {
+		return nil, err
+	}
+	analysis.Model = c.Model
+	return analysis, nil
+}
+
+// Models lists the models the endpoint hosts.
+func (c *Client) Models() ([]string, error) {
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Get(c.BaseURL + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("llm: listing models: %w", err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, fmt.Errorf("llm: decoding model list: %w", err)
+	}
+	return names, nil
+}
+
+// classByLabel resolves a rendered class label back to its enum.
+var classByLabel = func() map[string]AttackClass {
+	m := make(map[string]AttackClass)
+	for c := ClassBTSDoS; c <= ClassNullCipher; c++ {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+// ParseResponse extracts the structured Analysis from a model's response
+// text. It is intentionally tolerant: models phrase things differently,
+// and an unparseable verdict is itself a signal the xApp must escalate
+// (the hallucination problem, §3.3).
+func ParseResponse(text string) (*Analysis, error) {
+	a := &Analysis{Raw: text, Confidence: 0.5}
+	lower := strings.ToLower(text)
+	switch {
+	case strings.Contains(lower, "verdict: anomalous"):
+		a.Verdict = VerdictAnomalous
+	case strings.Contains(lower, "verdict: benign"):
+		a.Verdict = VerdictBenign
+	case strings.Contains(lower, "anomalous"):
+		a.Verdict = VerdictAnomalous
+	case strings.Contains(lower, "benign"):
+		a.Verdict = VerdictBenign
+	default:
+		return nil, fmt.Errorf("llm: response contains no verdict")
+	}
+
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.Contains(line, "confidence"):
+			if start := strings.Index(line, "confidence "); start >= 0 {
+				numStr := strings.TrimRight(line[start+len("confidence "):], ")")
+				if v, err := strconv.ParseFloat(numStr, 64); err == nil {
+					a.Confidence = v
+				}
+			}
+		case strings.HasPrefix(line, "Explanation: "):
+			a.Explanation = strings.TrimPrefix(line, "Explanation: ")
+		case strings.HasPrefix(line, "Attribution: "):
+			a.Attribution = strings.TrimPrefix(line, "Attribution: ")
+		case strings.HasPrefix(line, "- "):
+			a.Remediation = append(a.Remediation, strings.TrimPrefix(line, "- "))
+		case len(line) > 3 && line[0] >= '1' && line[0] <= '9' && line[1] == '.':
+			// Ranked hypothesis: "N. <class> (likelihood X): ..."
+			h := Hypothesis{Class: ClassUnknown}
+			for label, class := range classByLabel {
+				if strings.Contains(line, label) {
+					h.Class = class
+					break
+				}
+			}
+			if idx := strings.Index(line, "likelihood "); idx >= 0 {
+				numStr := line[idx+len("likelihood "):]
+				if end := strings.IndexAny(numStr, ")"); end > 0 {
+					if v, err := strconv.ParseFloat(numStr[:end], 64); err == nil {
+						h.Likelihood = v
+					}
+				}
+			}
+			if idx := strings.Index(line, "): "); idx >= 0 {
+				h.Implications = line[idx+3:]
+			}
+			a.Hypotheses = append(a.Hypotheses, h)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,310 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// mixed generates the shared attack dataset for the tests.
+func mixed(t *testing.T) *dataset.Labeled {
+	t.Helper()
+	l, err := dataset.GenerateMixed(dataset.MixedConfig{
+		BenignConfig:       dataset.BenignConfig{Fleet: 8, Seed: 17},
+		InstancesPerAttack: 1,
+		BenignBetween:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// attackWindow extracts the telemetry of one attack event.
+func attackWindow(l *dataset.Labeled, kind ue.AttackKind) mobiflow.Trace {
+	var w mobiflow.Trace
+	for i, r := range l.Trace {
+		if l.AttackOf[i] == int(kind) {
+			w = append(w, r)
+		}
+	}
+	return w
+}
+
+// benignWindow extracts a window of benign records.
+func benignWindow(l *dataset.Labeled, skip, n int) mobiflow.Trace {
+	var w mobiflow.Trace
+	seen := 0
+	for i, r := range l.Trace {
+		if l.AttackOf[i] == -1 {
+			seen++
+			if seen > skip {
+				w = append(w, r)
+				if len(w) == n {
+					break
+				}
+			}
+		}
+	}
+	return w
+}
+
+var expectedClass = map[ue.AttackKind]AttackClass{
+	ue.AttackBTSDoS:               ClassBTSDoS,
+	ue.AttackBlindDoS:             ClassBlindDoS,
+	ue.AttackUplinkIDExtraction:   ClassUplinkIDExtraction,
+	ue.AttackDownlinkIDExtraction: ClassDownlinkIDExtraction,
+	ue.AttackNullCipher:           ClassNullCipher,
+}
+
+func TestPromptRenderAndExtract(t *testing.T) {
+	l := mixed(t)
+	w := benignWindow(l, 0, 6)
+	prompt := RenderPrompt(w)
+	for _, want := range []string{"AI security analyst", "DATA:", "anomalous or benign", "top 3"} {
+		if !strings.Contains(prompt, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+	lines, err := ExtractData(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 6 {
+		t.Errorf("extracted %d lines, want 6", len(lines))
+	}
+	if _, err := ExtractData("no data here"); err == nil {
+		t.Error("prompt without DATA accepted")
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	line := "#42 UL NAS IdentityResponse rnti=0x4601 tmsi=0xCAFEBABE supi=imsi-001010000000001(PLAINTEXT) cipher=NEA0 integ=NIA0 sec=off cause=mo-Signalling rrc=CONNECTED nas=REG_INITIATED OUT-OF-ORDER"
+	rec, err := parseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.seq != 42 || rec.dir != "UL" || rec.layer != "NAS" || rec.msg != "IdentityResponse" {
+		t.Errorf("parsed %+v", rec)
+	}
+	if rec.rnti != "0x4601" || rec.tmsi != "0xCAFEBABE" || !rec.supiPlain {
+		t.Errorf("identity fields: %+v", rec)
+	}
+	if !rec.cipherNull || !rec.integNull || rec.secOn || !rec.outOfOrder || rec.retx {
+		t.Errorf("flags: %+v", rec)
+	}
+	if _, err := parseLine("garbage"); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestEngineDetectsEveryAttack(t *testing.T) {
+	l := mixed(t)
+	for kind, wantClass := range expectedClass {
+		w := attackWindow(l, kind)
+		if len(w) == 0 {
+			t.Fatalf("%v: empty window", kind)
+		}
+		findings, err := AnalyzePrompt(RenderPrompt(w))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		found := false
+		for _, f := range findings {
+			if f.Class == wantClass {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: engine findings %v lack %v", kind, findings, wantClass)
+		}
+	}
+}
+
+func TestEngineBenignHasNoFindings(t *testing.T) {
+	l := mixed(t)
+	for skip := 0; skip < 40; skip += 20 {
+		w := benignWindow(l, skip, 15)
+		findings, err := AnalyzePrompt(RenderPrompt(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("benign window (skip %d) produced findings %v", skip, findings)
+		}
+	}
+}
+
+// TestTable3Matrix verifies the five personalities reproduce the paper's
+// Table 3 exactly: which model correctly classifies which attack.
+func TestTable3Matrix(t *testing.T) {
+	l := mixed(t)
+
+	// Table 3 of the paper: rows = attacks, columns = models.
+	want := map[ue.AttackKind]map[string]bool{
+		ue.AttackBTSDoS:               {"chatgpt-4o": true, "gemini": true, "copilot": true, "llama3": false, "claude-3-sonnet": false},
+		ue.AttackBlindDoS:             {"chatgpt-4o": true, "gemini": false, "copilot": false, "llama3": true, "claude-3-sonnet": false},
+		ue.AttackUplinkIDExtraction:   {"chatgpt-4o": false, "gemini": false, "copilot": false, "llama3": false, "claude-3-sonnet": true},
+		ue.AttackDownlinkIDExtraction: {"chatgpt-4o": true, "gemini": true, "copilot": false, "llama3": true, "claude-3-sonnet": true},
+		ue.AttackNullCipher:           {"chatgpt-4o": true, "gemini": true, "copilot": false, "llama3": true, "claude-3-sonnet": true},
+	}
+
+	for kind, row := range want {
+		w := attackWindow(l, kind)
+		findings, err := AnalyzePrompt(RenderPrompt(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range DefaultModels {
+			analysis, err := ParseResponse(model.Respond(findings))
+			if err != nil {
+				t.Fatalf("%v/%s: %v", kind, model.Name, err)
+			}
+			correct := analysis.Verdict == VerdictAnomalous && analysis.TopClass() == expectedClass[kind]
+			if correct != row[model.Name] {
+				t.Errorf("%v / %s: correct=%v, Table 3 says %v (top=%v verdict=%v)",
+					kind, model.Name, correct, row[model.Name], analysis.TopClass(), analysis.Verdict)
+			}
+		}
+	}
+
+	// The two benign rows: every model classifies them correctly.
+	for i, skip := range []int{0, 30} {
+		w := benignWindow(l, skip, 15)
+		findings, err := AnalyzePrompt(RenderPrompt(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range DefaultModels {
+			analysis, err := ParseResponse(model.Respond(findings))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if analysis.Verdict != VerdictBenign {
+				t.Errorf("benign %d / %s: verdict %v", i+1, model.Name, analysis.Verdict)
+			}
+		}
+	}
+}
+
+func TestResponsesAreDeterministic(t *testing.T) {
+	// §4.2: repeated experiments observed consistent results.
+	l := mixed(t)
+	w := attackWindow(l, ue.AttackBTSDoS)
+	prompt := RenderPrompt(w)
+	findings, err := AnalyzePrompt(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ChatGPT4o.Respond(findings)
+	for i := 0; i < 5; i++ {
+		if got := ChatGPT4o.Respond(findings); got != first {
+			t.Fatal("responses differ across repetitions")
+		}
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	l := mixed(t)
+	srv := NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	client := NewClient("http://"+addr, "chatgpt-4o")
+	models, err := client.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 5 || models[0] != "chatgpt-4o" {
+		t.Errorf("models = %v", models)
+	}
+
+	analysis, err := client.AnalyzeWindow(attackWindow(l, ue.AttackBTSDoS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.Verdict != VerdictAnomalous || analysis.TopClass() != ClassBTSDoS {
+		t.Errorf("analysis = verdict %v, top %v", analysis.Verdict, analysis.TopClass())
+	}
+	if analysis.Explanation == "" || analysis.Attribution == "" || len(analysis.Remediation) == 0 {
+		t.Error("analysis missing explanation/attribution/remediation")
+	}
+	if analysis.Model != "chatgpt-4o" {
+		t.Errorf("model = %q", analysis.Model)
+	}
+	if srv.Requests() != 1 {
+		t.Errorf("server requests = %d", srv.Requests())
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv := NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	// Unknown model.
+	c := NewClient("http://"+addr, "gpt-99")
+	if _, err := c.AnalyzePromptText("DATA:\n#1 UL RRC RRCSetupRequest rnti=0x1\nDetermine"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	// Empty window at the client.
+	c = NewClient("http://"+addr, "gemini")
+	if _, err := c.AnalyzeWindow(nil); err == nil {
+		t.Error("empty window accepted")
+	}
+	// Prompt without data.
+	if _, err := c.AnalyzePromptText("hello"); err == nil {
+		t.Error("dataless prompt accepted")
+	}
+}
+
+func TestParseResponseEdgeCases(t *testing.T) {
+	if _, err := ParseResponse("no signal words here"); err == nil {
+		t.Error("verdictless response accepted")
+	}
+	a, err := ParseResponse("this sequence looks benign to me")
+	if err != nil || a.Verdict != VerdictBenign {
+		t.Errorf("free-form benign: %+v, %v", a, err)
+	}
+	a, err = ParseResponse("I believe this is anomalous traffic")
+	if err != nil || a.Verdict != VerdictAnomalous {
+		t.Errorf("free-form anomalous: %+v, %v", a, err)
+	}
+}
+
+func TestVerdictAndClassStrings(t *testing.T) {
+	if VerdictBenign.String() != "BENIGN" || VerdictAnomalous.String() != "ANOMALOUS" {
+		t.Error("verdict names wrong")
+	}
+	if ClassBTSDoS.String() != "Signaling Storm (BTS DoS)" {
+		t.Errorf("got %q", ClassBTSDoS.String())
+	}
+	if AttackClass(99).String() != "AttackClass(99)" {
+		t.Error("unknown class name wrong")
+	}
+}
+
+func TestFigure5StyleResponse(t *testing.T) {
+	// Figure 5: the BTS DoS response must identify a signaling storm
+	// from repeated connection patterns.
+	l := mixed(t)
+	findings, err := AnalyzePrompt(RenderPrompt(attackWindow(l, ue.AttackBTSDoS)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ChatGPT4o.Respond(findings)
+	for _, want := range []string{"ANOMALOUS", "Signaling Storm", "Recommended remediation"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("response missing %q:\n%s", want, text)
+		}
+	}
+}

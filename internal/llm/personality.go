@@ -1,0 +1,192 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ModelProfile is one hosted model personality: which attack patterns it
+// recognizes when reasoning zero-shot over cellular telemetry. The five
+// shipped profiles are calibrated to the paper's Table 3 evaluation
+// (manual verification of five web LLMs against five attacks), so the
+// matrix bench regenerates that table; the engine supplies the candidate
+// findings and the profile decides what the model actually "sees".
+type ModelProfile struct {
+	// Name is the model identifier used on the API.
+	Name string
+	// Skills maps attack classes to recognition ability.
+	Skills map[AttackClass]bool
+	// Style tweaks the response phrasing.
+	Style string
+}
+
+// The five personalities of Table 3.
+var (
+	ChatGPT4o = ModelProfile{
+		Name: "chatgpt-4o",
+		Skills: map[AttackClass]bool{
+			ClassBTSDoS: true, ClassBlindDoS: true,
+			ClassUplinkIDExtraction:   false,
+			ClassDownlinkIDExtraction: true, ClassNullCipher: true,
+		},
+		Style: "thorough",
+	}
+	Gemini = ModelProfile{
+		Name: "gemini",
+		Skills: map[AttackClass]bool{
+			ClassBTSDoS: true, ClassBlindDoS: false,
+			ClassUplinkIDExtraction:   false,
+			ClassDownlinkIDExtraction: true, ClassNullCipher: true,
+		},
+		Style: "structured",
+	}
+	Copilot = ModelProfile{
+		Name: "copilot",
+		Skills: map[AttackClass]bool{
+			ClassBTSDoS: true, ClassBlindDoS: false,
+			ClassUplinkIDExtraction:   false,
+			ClassDownlinkIDExtraction: false, ClassNullCipher: false,
+		},
+		Style: "terse",
+	}
+	Llama3 = ModelProfile{
+		Name: "llama3",
+		Skills: map[AttackClass]bool{
+			ClassBTSDoS: false, ClassBlindDoS: true,
+			ClassUplinkIDExtraction:   false,
+			ClassDownlinkIDExtraction: true, ClassNullCipher: true,
+		},
+		Style: "conversational",
+	}
+	Claude3Sonnet = ModelProfile{
+		Name: "claude-3-sonnet",
+		Skills: map[AttackClass]bool{
+			ClassBTSDoS: false, ClassBlindDoS: false,
+			ClassUplinkIDExtraction:   true,
+			ClassDownlinkIDExtraction: true, ClassNullCipher: true,
+		},
+		Style: "careful",
+	}
+)
+
+// DefaultModels lists the hosted personalities in the paper's column
+// order.
+var DefaultModels = []ModelProfile{ChatGPT4o, Gemini, Copilot, Llama3, Claude3Sonnet}
+
+// classRank orders findings by specificity for the top-hypothesis list:
+// the most pattern-specific explanation leads.
+var classRank = map[AttackClass]int{
+	ClassUplinkIDExtraction:   0,
+	ClassDownlinkIDExtraction: 1,
+	ClassNullCipher:           2,
+	ClassBlindDoS:             3,
+	ClassBTSDoS:               4,
+}
+
+// Respond generates the model's natural-language answer for a set of
+// candidate findings (from the engine). Findings the profile lacks the
+// skill for are invisible to the model; with nothing visible the model
+// declares the sequence benign — the failure mode the paper observes.
+func (p ModelProfile) Respond(findings []Finding) string {
+	var visible []Finding
+	for _, f := range findings {
+		if p.Skills[f.Class] {
+			visible = append(visible, f)
+		}
+	}
+	sort.SliceStable(visible, func(i, j int) bool {
+		return classRank[visible[i].Class] < classRank[visible[j].Class]
+	})
+
+	var b strings.Builder
+	if len(visible) == 0 {
+		b.WriteString("Verdict: BENIGN (confidence 0.85)\n\n")
+		b.WriteString("The sequence follows the expected 5G registration call flow: connection establishment, registration, authentication, security-mode control, and configuration proceed in order, identities appear only where the procedures require them, and the selected security algorithms provide ciphering and integrity protection. ")
+		b.WriteString("I found no deviation that would indicate an attack.\n")
+		return b.String()
+	}
+
+	top := visible[0]
+	confidence := 0.92
+	if top.Subtle {
+		confidence = 0.74
+	}
+	fmt.Fprintf(&b, "Verdict: ANOMALOUS (confidence %.2f)\n\n", confidence)
+	fmt.Fprintf(&b, "Classification: %s\n\n", top.Class)
+	fmt.Fprintf(&b, "Explanation: %s.\n\n", top.Evidence)
+
+	b.WriteString("Top attack hypotheses:\n")
+	for i, f := range visible {
+		if i == 3 {
+			break
+		}
+		likelihood := 0.9 - 0.25*float64(i)
+		fmt.Fprintf(&b, "%d. %s (likelihood %.2f): %s.\n", i+1, f.Class, likelihood, implications(f.Class))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Attribution: %s\n\n", attribution(top.Class))
+	b.WriteString("Recommended remediation:\n")
+	for _, r := range remediation(top.Class) {
+		fmt.Fprintf(&b, "- %s\n", r)
+	}
+	return b.String()
+}
+
+func implications(c AttackClass) string {
+	switch c {
+	case ClassBTSDoS:
+		return "excessive load on the gNodeB's RRC and registration contexts can deny service to legitimate subscribers cell-wide"
+	case ClassBlindDoS:
+		return "the victim whose temporary identity is replayed loses pending services and may be forced into repeated re-registration"
+	case ClassUplinkIDExtraction:
+		return "the subscriber's permanent identity is harvested, enabling persistent tracking of the victim's location and presence"
+	case ClassDownlinkIDExtraction:
+		return "an injected identity procedure discloses the permanent identity in plaintext, enabling IMSI-catcher-style tracking"
+	case ClassNullCipher:
+		return "all user and signalling traffic is readable and forgeable by a passive or active adversary"
+	}
+	return "unknown impact"
+}
+
+func attribution(c AttackClass) string {
+	switch c {
+	case ClassBTSDoS, ClassBlindDoS:
+		return "a rogue UE implemented on a software-defined radio within the cell's coverage, programmatically issuing connection attempts"
+	case ClassUplinkIDExtraction, ClassDownlinkIDExtraction:
+		return "a man-in-the-middle relay or overshadowing transmitter positioned between the victim and the base station"
+	case ClassNullCipher:
+		return "an active adversary tampering with the security negotiation (bidding-down), typically via a MiTM relay"
+	}
+	return "unknown actor"
+}
+
+func remediation(c AttackClass) []string {
+	switch c {
+	case ClassBTSDoS:
+		return []string{
+			"rate-limit RRC setup requests per cell and back off with RRCReject wait timers",
+			"release stale UE contexts aggressively and alert on context-pool exhaustion",
+			"deploy the RIC control action releasing contexts stuck at the authentication stage",
+		}
+	case ClassBlindDoS:
+		return []string{
+			"block setup requests presenting the replayed TMSI at the DU (RIC block-tmsi control)",
+			"reallocate the victim's 5G-GUTI immediately",
+			"require NAS authentication before honoring mobility updates for contested identities",
+		}
+	case ClassUplinkIDExtraction, ClassDownlinkIDExtraction:
+		return []string{
+			"enable SUCI concealment (non-null protection scheme) so identity responses reveal nothing",
+			"alert the subscriber's home network of potential tracking exposure",
+			"investigate the radio environment for overshadowing transmitters",
+		}
+	case ClassNullCipher:
+		return []string{
+			"enforce a strong-security policy refusing NEA0/NIA0 outside emergency services (RIC require-strong-security control)",
+			"release and re-authenticate the affected session with mandatory ciphering",
+			"audit the core's security-mode selection configuration",
+		}
+	}
+	return []string{"escalate to a human analyst"}
+}

@@ -1,0 +1,134 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the paper's "Specialized LLM for 6G" direction
+// (§5): Retrieval-Augmented Generation over cellular protocol knowledge.
+// A small knowledge base of 3GPP security facts is indexed by telemetry
+// signals; RetrieveKnowledge selects the passages relevant to a window
+// and AugmentPrompt appends them to the zero-shot prompt. Models
+// reasoning with the retrieved specification context overcome their
+// zero-shot blind spots — most notably the uplink identity extraction
+// that every baseline but one misses in Table 3.
+
+// KnowledgeEntry is one retrievable passage of domain knowledge.
+type KnowledgeEntry struct {
+	// ID names the source (spec section or paper).
+	ID string
+	// Triggers are telemetry signals whose presence makes the passage
+	// relevant: message names or signal keywords found in the rendered
+	// window.
+	Triggers []string
+	// Text is the passage injected into the prompt.
+	Text string
+}
+
+// DefaultKnowledgeBase is the 3GPP-derived rule set the paper's RAG
+// direction would retrieve from.
+var DefaultKnowledgeBase = []KnowledgeEntry{
+	{
+		ID:       "TS33.501-6.1.3",
+		Triggers: []string{"AuthenticationRequest", "IdentityResponse"},
+		Text:     "TS 33.501 §6.1.3: after the network issues an Authentication Request, the UE shall answer with an Authentication Response carrying RES*, or an Authentication Failure. An Identity Response in place of the RES* indicates the uplink was substituted — the AdaptOver overshadowing attack harvests the permanent identity exactly this way.",
+	},
+	{
+		ID:       "TS24.501-5.4.3",
+		Triggers: []string{"IdentityResponse"},
+		Text:     "TS 24.501 §5.4.3: the identification procedure is network-initiated; an Identity Response without a preceding network Identity Request means the request was injected over the air by a third party (IMSI-catcher behavior).",
+	},
+	{
+		ID:       "TS33.501-5.11.1",
+		Triggers: []string{"NEA0", "NIA0", "NASSecurityModeCommand"},
+		Text:     "TS 33.501 §5.11.1: NIA0 (null integrity) shall only be used for unauthenticated emergency sessions; selecting NEA0 together with NIA0 for a normal registration indicates a bidding-down attack on the security negotiation.",
+	},
+	{
+		ID:       "TS38.331-5.3.3",
+		Triggers: []string{"RRCSetupRequest"},
+		Text:     "TS 38.331 §5.3.3: each RRC connection establishment allocates RAN resources before any authentication; rapid repeated setup requests that never complete registration exhaust the gNB's UE contexts (signaling-storm DoS).",
+	},
+	{
+		ID:       "TS23.003-2.4",
+		Triggers: []string{"tmsi", "RRCSetupRequest"},
+		Text:     "TS 23.003 §2.4: the 5G-S-TMSI is bound to a single registered UE; the same temporary identity presented concurrently on multiple connections means it was replayed by an attacker to hijack or disrupt the victim's signalling.",
+	},
+}
+
+// RetrieveKnowledge selects the passages relevant to a rendered prompt's
+// DATA section, most relevant first (by trigger hit count).
+func RetrieveKnowledge(prompt string, kb []KnowledgeEntry) []KnowledgeEntry {
+	type scored struct {
+		entry KnowledgeEntry
+		hits  int
+	}
+	var out []scored
+	lower := strings.ToLower(prompt)
+	for _, e := range kb {
+		hits := 0
+		for _, trig := range e.Triggers {
+			if strings.Contains(lower, strings.ToLower(trig)) {
+				hits++
+			}
+		}
+		if hits == len(e.Triggers) { // all triggers present
+			out = append(out, scored{e, hits})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].hits > out[j].hits })
+	entries := make([]KnowledgeEntry, len(out))
+	for i, s := range out {
+		entries[i] = s.entry
+	}
+	return entries
+}
+
+const knowledgeHeader = "RETRIEVED SPECIFICATION CONTEXT:"
+
+// AugmentPrompt appends retrieved passages to a rendered prompt.
+func AugmentPrompt(prompt string, kb []KnowledgeEntry) string {
+	entries := RetrieveKnowledge(prompt, kb)
+	if len(entries) == 0 {
+		return prompt
+	}
+	var b strings.Builder
+	b.WriteString(prompt)
+	b.WriteString("\n\n")
+	b.WriteString(knowledgeHeader)
+	b.WriteString("\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "[%s] %s\n", e.ID, e.Text)
+	}
+	return b.String()
+}
+
+// HasKnowledge reports whether a prompt carries retrieved context.
+func HasKnowledge(prompt string) bool {
+	return strings.Contains(prompt, knowledgeHeader)
+}
+
+// respondWithKnowledge lifts a personality's blind spots when the prompt
+// carries the relevant retrieved passage: a model that cannot infer a
+// subtle pattern zero-shot can follow an explicit specification rule.
+// The skill upgrade applies only to findings whose knowledge entry was
+// retrieved.
+func (p ModelProfile) respondWithKnowledge(findings []Finding, prompt string) string {
+	boosted := ModelProfile{Name: p.Name, Style: p.Style, Skills: make(map[AttackClass]bool, len(p.Skills))}
+	for class, able := range p.Skills {
+		boosted.Skills[class] = able
+	}
+	for class, entryID := range map[AttackClass]string{
+		ClassUplinkIDExtraction:   "TS33.501-6.1.3",
+		ClassDownlinkIDExtraction: "TS24.501-5.4.3",
+		ClassNullCipher:           "TS33.501-5.11.1",
+		ClassBTSDoS:               "TS38.331-5.3.3",
+		ClassBlindDoS:             "TS23.003-2.4",
+	} {
+		if strings.Contains(prompt, "["+entryID+"]") {
+			boosted.Skills[class] = true
+		}
+	}
+	return boosted.Respond(findings)
+}

@@ -1,0 +1,115 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+func TestRetrieveKnowledge(t *testing.T) {
+	prompt := "DATA:\n#1 UL NAS AuthenticationRequest rnti=0x1\n#2 UL NAS IdentityResponse rnti=0x1\nDetermine"
+	entries := RetrieveKnowledge(prompt, DefaultKnowledgeBase)
+	found := false
+	for _, e := range entries {
+		if e.ID == "TS33.501-6.1.3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("auth/identity passage not retrieved; got %d entries", len(entries))
+	}
+	// A prompt with none of the triggers retrieves nothing.
+	if got := RetrieveKnowledge("DATA:\n#1 hello\nDetermine", DefaultKnowledgeBase); len(got) != 0 {
+		t.Errorf("irrelevant prompt retrieved %d entries", len(got))
+	}
+}
+
+func TestAugmentPrompt(t *testing.T) {
+	prompt := "DATA:\n#1 DL NAS NASSecurityModeCommand cipher=NEA0 integ=NIA0\nDetermine"
+	aug := AugmentPrompt(prompt, DefaultKnowledgeBase)
+	if !HasKnowledge(aug) {
+		t.Fatal("augmented prompt has no knowledge section")
+	}
+	if !strings.Contains(aug, "TS 33.501") {
+		t.Error("null-cipher passage missing")
+	}
+	// No triggers → prompt unchanged.
+	plain := AugmentPrompt("DATA:\n#1 nothing\nDetermine", DefaultKnowledgeBase)
+	if HasKnowledge(plain) {
+		t.Error("knowledge appended with no triggers")
+	}
+}
+
+// TestRAGLiftsUplinkBlindSpot reproduces the paper's §5 hypothesis: with
+// retrieved specification context, models that miss the uplink identity
+// extraction zero-shot (every baseline except Claude 3 Sonnet in Table 3)
+// classify it correctly.
+func TestRAGLiftsUplinkBlindSpot(t *testing.T) {
+	l := mixed(t)
+	window := attackWindow(l, ue.AttackUplinkIDExtraction)
+
+	srv := NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	for _, model := range []string{"chatgpt-4o", "gemini", "copilot", "llama3"} {
+		// Zero-shot: missed.
+		zero := NewClient("http://"+addr, model)
+		a0, err := zero.AnalyzeWindow(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a0.Verdict == VerdictAnomalous && a0.TopClass() == ClassUplinkIDExtraction {
+			t.Errorf("%s: zero-shot unexpectedly correct", model)
+		}
+		// RAG: correct.
+		rag := NewClient("http://"+addr, model)
+		rag.RAG = true
+		a1, err := rag.AnalyzeWindow(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1.Verdict != VerdictAnomalous || a1.TopClass() != ClassUplinkIDExtraction {
+			t.Errorf("%s: RAG verdict %v / %v, want anomalous uplink extraction",
+				model, a1.Verdict, a1.TopClass())
+		}
+	}
+}
+
+// TestRAGDoesNotCreateBenignFalsePositives: retrieved context must not
+// make models flag benign traffic.
+func TestRAGDoesNotCreateBenignFalsePositives(t *testing.T) {
+	l := mixed(t)
+	window := benignWindow(l, 0, 15)
+
+	srv := NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	for _, m := range DefaultModels {
+		c := NewClient("http://"+addr, m.Name)
+		c.RAG = true
+		a, err := c.AnalyzeWindow(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Verdict != VerdictBenign {
+			t.Errorf("%s: RAG flagged benign traffic", m.Name)
+		}
+	}
+}
+
+func TestCustomKnowledgeBase(t *testing.T) {
+	kb := []KnowledgeEntry{{ID: "custom-1", Triggers: []string{"RRCSetupRequest"}, Text: "custom passage"}}
+	prompt := AugmentPrompt("DATA:\n#1 UL RRC RRCSetupRequest\nDetermine", kb)
+	if !strings.Contains(prompt, "custom passage") {
+		t.Error("custom knowledge not injected")
+	}
+}

@@ -1,0 +1,150 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ChatRequest is the REST request body of the expert service, shaped like
+// the chat-completion APIs the paper's xApp targets.
+type ChatRequest struct {
+	Model  string `json:"model"`
+	Prompt string `json:"prompt"`
+}
+
+// ChatResponse is the REST response body.
+type ChatResponse struct {
+	Model string `json:"model"`
+	Text  string `json:"text"`
+}
+
+// ErrorResponse is the REST error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server hosts the model personalities behind an HTTP API:
+//
+//	POST /v1/analyze  {"model": "...", "prompt": "..."}  →  {"text": "..."}
+//	GET  /v1/models                                      →  ["chatgpt-4o", ...]
+type Server struct {
+	models   map[string]ModelProfile
+	requests atomic.Uint64
+	// Latency adds artificial per-request service time, modeling remote
+	// LLM inference for the latency benchmarks.
+	Latency time.Duration
+}
+
+// NewServer hosts the given personalities (DefaultModels if none).
+func NewServer(models ...ModelProfile) *Server {
+	if len(models) == 0 {
+		models = DefaultModels
+	}
+	s := &Server{models: make(map[string]ModelProfile, len(models))}
+	for _, m := range models {
+		s.models[m.Name] = m
+	}
+	return s
+}
+
+// Requests reports how many analyze calls the server has handled.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	return mux
+}
+
+// Listen serves the API on addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns the bound address and a shutdown function.
+func (s *Server) Listen(addr string) (string, func() error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("llm: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(l)
+	return l.Addr().String(), srv.Close, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	names := make([]string, 0, len(s.models))
+	for _, m := range DefaultModels {
+		if _, ok := s.models[m.Name]; ok {
+			names = append(names, m.Name)
+		}
+	}
+	// Include any custom models not in the default order.
+	for name := range s.models {
+		if !contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	var req ChatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body"})
+		return
+	}
+	model, ok := s.models[req.Model]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown model %q", req.Model)})
+		return
+	}
+	if strings.TrimSpace(req.Prompt) == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty prompt"})
+		return
+	}
+	findings, err := AnalyzePrompt(req.Prompt)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	s.requests.Add(1)
+	var text string
+	if HasKnowledge(req.Prompt) {
+		// RAG mode: the prompt carries retrieved specification context,
+		// which lifts the model's zero-shot blind spots (§5).
+		text = model.respondWithKnowledge(findings, req.Prompt)
+	} else {
+		text = model.Respond(findings)
+	}
+	writeJSON(w, http.StatusOK, ChatResponse{Model: req.Model, Text: text})
+}

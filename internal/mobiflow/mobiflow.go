@@ -1,0 +1,275 @@
+// Package mobiflow implements the MOBIFLOW security-telemetry stream
+// (§3.1 of the 6G-XSec paper, following Wen et al., "A fine-grained
+// telemetry stream for security services in 5G open radio access
+// networks").
+//
+// A telemetry entry x_i is collected at each control-message transmission:
+//
+//	x_i = [t_i, m_i, p_1 ... p_k]
+//
+// where m_i is the RRC or NAS message and the p_k are UE-specific
+// parameters (Table 1): RNTI, S-TMSI, SUPI, ciphering and integrity
+// algorithms, and the RRC establishment cause, plus the RRC/NAS protocol
+// states the CU tracks. A time series τ = {x_1 ... x_M} from the RAN is a
+// Trace.
+//
+// Records are produced by the gNB's RIC agent (internal/gnb), transported
+// over E2 inside the E2SM-MOBIFLOW service model (internal/e2sm), stored
+// in the SDL (internal/sdl), and consumed by the MobiWatch and LLM
+// Analyzer xApps.
+package mobiflow
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// Layer identifies which protocol produced the message field of a record.
+type Layer uint8
+
+// Protocol layers.
+const (
+	LayerRRC Layer = iota
+	LayerNAS
+)
+
+// String returns "RRC" or "NAS".
+func (l Layer) String() string {
+	if l == LayerRRC {
+		return "RRC"
+	}
+	return "NAS"
+}
+
+// Record is one MOBIFLOW telemetry entry. Fields correspond to Table 1 of
+// the paper; zero values mean "not (yet) known" (e.g. TMSI before the AMF
+// assigns one, SUPI unless it was revealed in plaintext).
+type Record struct {
+	// Seq is the gNB-assigned monotonic sequence number of the entry.
+	Seq uint64
+	// Timestamp is the collection time t_i.
+	Timestamp time.Time
+	// UEID is the CU-local UE context identifier the entry belongs to.
+	UEID uint64
+
+	// Msg is the RRC or NAS message name m_i.
+	Msg string
+	// Layer tells which protocol Msg belongs to.
+	Layer Layer
+	// Dir is the transmission direction.
+	Dir cell.Direction
+
+	// RNTI is the UE's C-RNTI at collection time.
+	RNTI cell.RNTI
+	// TMSI is the 5G-S-TMSI if one is associated with the UE context.
+	TMSI cell.TMSI
+	// SUPI is the permanent identifier if (and only if) it has been
+	// observed in plaintext on the air interface.
+	SUPI cell.SUPI
+
+	// CipherAlg and IntegAlg are the security algorithms currently
+	// selected for the UE (NEA0/NIA0 until security activation).
+	CipherAlg cell.CipherAlg
+	IntegAlg  cell.IntegAlg
+	// SecurityOn reports whether NAS security has been activated, which
+	// disambiguates "NEA0 because no security yet" from "NEA0 selected".
+	SecurityOn bool
+
+	// EstCause is the RRC establishment cause from the UE.
+	EstCause cell.EstablishmentCause
+
+	// RRCState and NASState are the CU-tracked protocol states after
+	// this message.
+	RRCState rrc.State
+	NASState nas.State
+
+	// OutOfOrder is set when the message violated the protocol state
+	// machine (a TransitionError), the univariate anomaly signal of
+	// Figure 2a.
+	OutOfOrder bool
+	// Retransmission marks duplicate messages caused by radio noise —
+	// the main source of benign false positives in the paper (§4.1).
+	Retransmission bool
+}
+
+// String renders a compact single-line form used in logs and LLM prompts.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %s %s rnti=%s", r.Seq, r.Dir, r.Layer, r.Msg, r.RNTI)
+	if r.TMSI != cell.InvalidTMSI {
+		fmt.Fprintf(&b, " tmsi=%s", r.TMSI)
+	}
+	if r.SUPI != "" {
+		fmt.Fprintf(&b, " supi=%s(PLAINTEXT)", r.SUPI)
+	}
+	sec := "off"
+	if r.SecurityOn {
+		sec = "on"
+	}
+	fmt.Fprintf(&b, " cipher=%s integ=%s sec=%s cause=%s rrc=%s nas=%s",
+		r.CipherAlg, r.IntegAlg, sec, r.EstCause, r.RRCState, r.NASState)
+	if r.OutOfOrder {
+		b.WriteString(" OUT-OF-ORDER")
+	}
+	if r.Retransmission {
+		b.WriteString(" RETX")
+	}
+	return b.String()
+}
+
+// TLV field tags for the E2 encoding of a record.
+const (
+	tagSeq        = 1
+	tagTimestamp  = 2
+	tagUEID       = 3
+	tagMsg        = 4
+	tagLayer      = 5
+	tagDir        = 6
+	tagRNTI       = 7
+	tagTMSI       = 8
+	tagSUPI       = 9
+	tagCipherAlg  = 10
+	tagIntegAlg   = 11
+	tagSecurityOn = 12
+	tagEstCause   = 13
+	tagRRCState   = 14
+	tagNASState   = 15
+	tagOutOfOrder = 16
+	tagRetrans    = 17
+)
+
+// MarshalTLV implements asn1lite.Marshaler.
+func (r *Record) MarshalTLV(e *asn1lite.Encoder) {
+	e.PutUint(tagSeq, r.Seq)
+	e.PutInt(tagTimestamp, r.Timestamp.UnixNano())
+	e.PutUint(tagUEID, r.UEID)
+	e.PutString(tagMsg, r.Msg)
+	e.PutUint(tagLayer, uint64(r.Layer))
+	e.PutUint(tagDir, uint64(r.Dir))
+	e.PutUint(tagRNTI, uint64(r.RNTI))
+	e.PutUint(tagTMSI, uint64(r.TMSI))
+	e.PutString(tagSUPI, string(r.SUPI))
+	e.PutUint(tagCipherAlg, uint64(r.CipherAlg))
+	e.PutUint(tagIntegAlg, uint64(r.IntegAlg))
+	e.PutBool(tagSecurityOn, r.SecurityOn)
+	e.PutUint(tagEstCause, uint64(r.EstCause))
+	e.PutUint(tagRRCState, uint64(r.RRCState))
+	e.PutUint(tagNASState, uint64(r.NASState))
+	e.PutBool(tagOutOfOrder, r.OutOfOrder)
+	e.PutBool(tagRetrans, r.Retransmission)
+}
+
+// UnmarshalTLV implements asn1lite.Unmarshaler.
+func (r *Record) UnmarshalTLV(d *asn1lite.Decoder) error {
+	for d.Next() {
+		var err error
+		switch d.Tag() {
+		case tagSeq:
+			r.Seq, err = d.Uint()
+		case tagTimestamp:
+			var ns int64
+			ns, err = d.Int()
+			if err == nil {
+				r.Timestamp = time.Unix(0, ns).UTC()
+			}
+		case tagUEID:
+			r.UEID, err = d.Uint()
+		case tagMsg:
+			r.Msg, err = d.String()
+		case tagLayer:
+			var v uint64
+			v, err = d.Uint()
+			r.Layer = Layer(v)
+		case tagDir:
+			var v uint64
+			v, err = d.Uint()
+			r.Dir = cell.Direction(v)
+		case tagRNTI:
+			var v uint64
+			v, err = d.Uint()
+			r.RNTI = cell.RNTI(v)
+		case tagTMSI:
+			var v uint64
+			v, err = d.Uint()
+			r.TMSI = cell.TMSI(v)
+		case tagSUPI:
+			var s string
+			s, err = d.String()
+			r.SUPI = cell.SUPI(s)
+		case tagCipherAlg:
+			var v uint64
+			v, err = d.Uint()
+			r.CipherAlg = cell.CipherAlg(v)
+		case tagIntegAlg:
+			var v uint64
+			v, err = d.Uint()
+			r.IntegAlg = cell.IntegAlg(v)
+		case tagSecurityOn:
+			r.SecurityOn, err = d.Bool()
+		case tagEstCause:
+			var v uint64
+			v, err = d.Uint()
+			r.EstCause = cell.EstablishmentCause(v)
+		case tagRRCState:
+			var v uint64
+			v, err = d.Uint()
+			r.RRCState = rrc.State(v)
+		case tagNASState:
+			var v uint64
+			v, err = d.Uint()
+			r.NASState = nas.State(v)
+		case tagOutOfOrder:
+			r.OutOfOrder, err = d.Bool()
+		case tagRetrans:
+			r.Retransmission, err = d.Bool()
+		}
+		if err != nil {
+			return fmt.Errorf("mobiflow: record tag %d: %w", d.Tag(), err)
+		}
+	}
+	return d.Err()
+}
+
+// Encode serializes a record for E2 transport.
+func Encode(r *Record) []byte { return asn1lite.Marshal(r) }
+
+// Decode parses a record from its E2 wire form.
+func Decode(data []byte) (Record, error) {
+	var r Record
+	if err := asn1lite.Unmarshal(data, &r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// EncodeTrace serializes a whole trace as repeated nested records.
+func EncodeTrace(tr Trace) []byte {
+	var e asn1lite.Encoder
+	for i := range tr {
+		e.PutMessage(1, &tr[i])
+	}
+	return e.Bytes()
+}
+
+// DecodeTrace parses a trace produced by EncodeTrace.
+func DecodeTrace(data []byte) (Trace, error) {
+	d := asn1lite.NewDecoder(data)
+	var tr Trace
+	for d.Next() {
+		if d.Tag() != 1 {
+			continue
+		}
+		var r Record
+		if err := d.Message(&r); err != nil {
+			return nil, err
+		}
+		tr = append(tr, r)
+	}
+	return tr, d.Err()
+}

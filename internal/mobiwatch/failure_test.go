@@ -1,0 +1,128 @@
+package mobiwatch
+
+import (
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/ric"
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// garbageNode is an E2 node that admits subscriptions and then sends
+// malformed indication payloads — failure injection for the xApp's
+// decode path.
+type garbageNode struct {
+	ep   *e2ap.Endpoint
+	subs chan e2ap.RequestID
+}
+
+func startGarbageNode(t *testing.T, p *ric.Platform) *garbageNode {
+	t.Helper()
+	ricEnd, nodeEnd := e2ap.Pipe()
+	go p.AttachNode(ricEnd)
+	n := &garbageNode{ep: nodeEnd, subs: make(chan e2ap.RequestID, 4)}
+	if err := nodeEnd.Send(&e2ap.Message{Type: e2ap.TypeE2SetupRequest, NodeID: "garbage-node"}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := nodeEnd.Recv(); err != nil || resp.Type != e2ap.TypeE2SetupResponse {
+		t.Fatalf("setup: %+v %v", resp, err)
+	}
+	go func() {
+		for {
+			msg, err := nodeEnd.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Type == e2ap.TypeSubscriptionRequest {
+				nodeEnd.Send(&e2ap.Message{Type: e2ap.TypeSubscriptionResponse, RequestID: msg.RequestID})
+				n.subs <- msg.RequestID
+			}
+		}
+	}()
+	return n
+}
+
+func TestXAppSurvivesMalformedIndications(t *testing.T) {
+	_, _, models := fixtures(t)
+	store := sdl.New()
+	p := ric.NewPlatform(store)
+	defer p.Close()
+	node := startGarbageNode(t, p)
+	waitReady(t, p)
+
+	x, err := p.RegisterXApp("mobiwatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Run(x, models, RunOptions{NodeID: "garbage-node", ReportPeriod: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := <-node.subs
+
+	// A stream of malformed payloads must not crash the runtime or
+	// produce alerts.
+	for i := 0; i < 10; i++ {
+		node.ep.Send(&e2ap.Message{
+			Type: e2ap.TypeIndication, RequestID: reqID,
+			IndicationSN: uint64(i), IndicationMessage: []byte{0x01, 0xFF, 0x42},
+		})
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := rt.Stats().BatchesHandled.Load(); got != 0 {
+		t.Errorf("malformed batches handled = %d", got)
+	}
+	select {
+	case a := <-rt.Alerts():
+		t.Fatalf("alert from garbage: %+v", a)
+	default:
+	}
+
+	// An empty-but-valid batch is also harmless.
+	node.ep.Send(&e2ap.Message{
+		Type: e2ap.TypeIndication, RequestID: reqID,
+		IndicationSN: 99, IndicationMessage: nil,
+	})
+	time.Sleep(20 * time.Millisecond)
+	if rt.Stats().RecordsSeen.Load() != 0 {
+		t.Error("records seen from empty batch")
+	}
+	rt.Stop()
+}
+
+func TestXAppStopsWhenNodeVanishes(t *testing.T) {
+	_, _, models := fixtures(t)
+	p := ric.NewPlatform(sdl.New())
+	defer p.Close()
+	node := startGarbageNode(t, p)
+	waitReady(t, p)
+
+	x, _ := p.RegisterXApp("mobiwatch")
+	rt, err := Run(x, models, RunOptions{NodeID: "garbage-node", ReportPeriod: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-node.subs
+	node.ep.Close() // node dies
+
+	select {
+	case _, open := <-rt.Alerts():
+		if open {
+			t.Error("alert instead of close after node death")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("alert channel not closed after node death")
+	}
+}
+
+func waitReady(t *testing.T, p *ric.Platform) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(p.Nodes()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("node not attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,297 @@
+// Package mobiwatch implements the MOBIWATCH xApp (§3.2 of the paper):
+// unsupervised deep-learning anomaly detection over MOBIFLOW telemetry.
+// Two models trained only on benign traffic score sliding windows — an
+// autoencoder by reconstruction error and an LSTM by next-entry
+// prediction error — against a high-percentile threshold fitted on the
+// training scores. Windows above threshold are flagged and handed to the
+// LLM Analyzer for expert referencing.
+package mobiwatch
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/detect"
+	"github.com/6g-xsec/xsec/internal/feature"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/nn"
+)
+
+// TrainOptions parameterizes offline model fitting (the SMO "Train"
+// stage of Figure 3).
+type TrainOptions struct {
+	// Window is the sliding-window size N (default 4).
+	Window int
+	// Percentile is the threshold percentile over training scores
+	// (default 99, the paper's choice assuming 1% training noise).
+	Percentile float64
+	// Hidden are the autoencoder encoder widths (default {64, 16}).
+	Hidden []int
+	// LSTMHidden is the LSTM hidden width (default 32).
+	LSTMHidden int
+	// Epochs (default 40) and LR (default 3e-3) drive both models.
+	Epochs int
+	LR     float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (o *TrainOptions) defaults() {
+	if o.Window == 0 {
+		o.Window = 4
+	}
+	if o.Percentile == 0 {
+		o.Percentile = 99
+	}
+	if len(o.Hidden) == 0 {
+		o.Hidden = []int{64, 16}
+	}
+	if o.LSTMHidden == 0 {
+		o.LSTMHidden = 32
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 40
+	}
+	if o.LR == 0 {
+		o.LR = 3e-3
+	}
+}
+
+// Models is a deployable MobiWatch model bundle: both detectors, the
+// shared vocabulary, the window size, and the fitted thresholds.
+type Models struct {
+	Vocab  *feature.Vocabulary
+	Window int
+
+	AE          *nn.Autoencoder
+	AEThreshold float64
+
+	LSTM          *nn.LSTM
+	LSTMThreshold float64
+
+	// AEQuantiles / LSTMQuantiles are the training-score quantiles
+	// (index = percentile 0..100). They let an A1 policy re-threshold a
+	// deployed model at a different percentile without retraining.
+	AEQuantiles   []float64
+	LSTMQuantiles []float64
+}
+
+// quantiles computes the 0..100 percentile values of scores.
+func quantiles(scores []float64) []float64 {
+	out := make([]float64, 101)
+	for p := 0; p <= 100; p++ {
+		pct := float64(p)
+		if pct == 0 {
+			pct = 0.001 // PercentileThreshold requires pct > 0
+		}
+		out[p] = detect.PercentileThreshold(scores, pct)
+	}
+	return out
+}
+
+// SetPercentile re-fits both detection thresholds at a new percentile of
+// the stored training-score distribution (the A1 threshold policy).
+func (m *Models) SetPercentile(pct float64) error {
+	if pct <= 0 || pct > 100 {
+		return fmt.Errorf("mobiwatch: percentile %v out of (0,100]", pct)
+	}
+	if len(m.AEQuantiles) != 101 || len(m.LSTMQuantiles) != 101 {
+		return fmt.Errorf("mobiwatch: bundle has no stored quantiles (trained before this feature?)")
+	}
+	interp := func(q []float64) float64 {
+		lo := int(pct)
+		if lo >= 100 {
+			return q[100]
+		}
+		frac := pct - float64(lo)
+		return q[lo]*(1-frac) + q[lo+1]*frac
+	}
+	m.AEThreshold = interp(m.AEQuantiles)
+	m.LSTMThreshold = interp(m.LSTMQuantiles)
+	return nil
+}
+
+// Train fits both models on a benign telemetry trace and calibrates the
+// detection thresholds (§4.1: "we select a 99% percentile threshold
+// among the reconstruction errors").
+func Train(benign mobiflow.Trace, opts TrainOptions) (*Models, error) {
+	opts.defaults()
+	if len(benign) <= opts.Window {
+		return nil, fmt.Errorf("mobiwatch: %d records cannot fill window %d", len(benign), opts.Window)
+	}
+	vocab := feature.BuildVocabulary(benign)
+	vecs := feature.Vectorize(benign, vocab)
+	dim := len(vecs[0])
+
+	// Autoencoder on flattened windows.
+	winAE := feature.WindowsAE(vecs, opts.Window)
+	ae := nn.NewAutoencoder(nn.AEConfig{InputDim: dim * opts.Window, Hidden: opts.Hidden, Seed: opts.Seed})
+	if _, err := ae.Train(winAE, nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 16, LR: opts.LR, Seed: opts.Seed + 1}); err != nil {
+		return nil, fmt.Errorf("mobiwatch: training autoencoder: %w", err)
+	}
+	aeScores := make([]float64, len(winAE))
+	for i, w := range winAE {
+		aeScores[i] = aeWindowScore(ae, w, dim)
+	}
+
+	// LSTM next-entry prediction.
+	winL, nexts := feature.WindowsLSTM(vecs, opts.Window)
+	lstm := nn.NewLSTM(opts.Seed+2, dim, opts.LSTMHidden, dim)
+	if _, err := lstm.TrainNextStep(winL, nexts, nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 16, LR: opts.LR, Seed: opts.Seed + 3}); err != nil {
+		return nil, fmt.Errorf("mobiwatch: training lstm: %w", err)
+	}
+	lstmScores := make([]float64, len(winL))
+	for i := range winL {
+		lstmScores[i] = lstm.Score(winL[i], nexts[i])
+	}
+
+	return &Models{
+		Vocab:         vocab,
+		Window:        opts.Window,
+		AE:            ae,
+		AEThreshold:   detect.PercentileThreshold(aeScores, opts.Percentile),
+		LSTM:          lstm,
+		LSTMThreshold: detect.PercentileThreshold(lstmScores, opts.Percentile),
+		AEQuantiles:   quantiles(aeScores),
+		LSTMQuantiles: quantiles(lstmScores),
+	}, nil
+}
+
+// bundleJSON is the serialized model bundle for the SMO registry.
+type bundleJSON struct {
+	Messages      []string        `json:"messages"`
+	Window        int             `json:"window"`
+	AE            json.RawMessage `json:"autoencoder"`
+	AEThreshold   float64         `json:"ae_threshold"`
+	LSTM          json.RawMessage `json:"lstm"`
+	LSTMThreshold float64         `json:"lstm_threshold"`
+	AEQuantiles   []float64       `json:"ae_quantiles,omitempty"`
+	LSTMQuantiles []float64       `json:"lstm_quantiles,omitempty"`
+}
+
+// Save serializes the bundle for deployment.
+func (m *Models) Save() ([]byte, error) {
+	aeData, err := m.AE.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("mobiwatch: saving autoencoder: %w", err)
+	}
+	lstmData, err := m.LSTM.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("mobiwatch: saving lstm: %w", err)
+	}
+	return json.Marshal(bundleJSON{
+		Messages:      m.Vocab.Messages,
+		Window:        m.Window,
+		AE:            aeData,
+		AEThreshold:   m.AEThreshold,
+		LSTM:          lstmData,
+		LSTMThreshold: m.LSTMThreshold,
+		AEQuantiles:   m.AEQuantiles,
+		LSTMQuantiles: m.LSTMQuantiles,
+	})
+}
+
+// Load reconstructs a bundle produced by Save.
+func Load(data []byte) (*Models, error) {
+	var b bundleJSON
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("mobiwatch: parsing bundle: %w", err)
+	}
+	if b.Window <= 0 {
+		return nil, fmt.Errorf("mobiwatch: bundle has window %d", b.Window)
+	}
+	ae, err := nn.LoadAutoencoder(b.AE)
+	if err != nil {
+		return nil, fmt.Errorf("mobiwatch: loading autoencoder: %w", err)
+	}
+	lstm, err := nn.LoadLSTM(b.LSTM)
+	if err != nil {
+		return nil, fmt.Errorf("mobiwatch: loading lstm: %w", err)
+	}
+	return &Models{
+		Vocab:         feature.NewVocabulary(b.Messages),
+		Window:        b.Window,
+		AE:            ae,
+		AEThreshold:   b.AEThreshold,
+		LSTM:          lstm,
+		LSTMThreshold: b.LSTMThreshold,
+		AEQuantiles:   b.AEQuantiles,
+		LSTMQuantiles: b.LSTMQuantiles,
+	}, nil
+}
+
+// ModelName selects which detector scored a window.
+type ModelName string
+
+// Detector names.
+const (
+	ModelAE   ModelName = "autoencoder"
+	ModelLSTM ModelName = "lstm"
+)
+
+// WindowScore is one scored sliding window.
+type WindowScore struct {
+	// Index is the window's position (aligned with feature.WindowsAE /
+	// WindowsLSTM output for the scored trace).
+	Index int
+	// Score is the anomaly score; Threshold the calibrated cut.
+	Score     float64
+	Threshold float64
+	// Anomalous = Score > Threshold.
+	Anomalous bool
+	Model     ModelName
+}
+
+// aeWindowScore scores one flattened window: the window is reconstructed
+// jointly, and the score is the worst per-record reconstruction MSE. The
+// max-aggregation avoids diluting a single strongly anomalous entry
+// across the whole window (cf. per-timestamp error aggregation in the
+// multivariate anomaly-detection literature the paper builds on).
+func aeWindowScore(ae *nn.Autoencoder, flat []float64, recordDim int) float64 {
+	recon := ae.Reconstruct(flat)
+	worst := 0.0
+	for off := 0; off+recordDim <= len(flat); off += recordDim {
+		var sum float64
+		for i := off; i < off+recordDim; i++ {
+			d := recon[i] - flat[i]
+			sum += d * d
+		}
+		if mse := sum / float64(recordDim); mse > worst {
+			worst = mse
+		}
+	}
+	return worst
+}
+
+// RecordDim returns the per-record feature dimension of the bundle.
+func (m *Models) RecordDim() int { return feature.Dim(m.Vocab) }
+
+// ScoreAEWindow scores one flattened window with the autoencoder.
+func (m *Models) ScoreAEWindow(flat []float64) float64 {
+	return aeWindowScore(m.AE, flat, m.RecordDim())
+}
+
+// ScoreTraceAE scores every window of a trace with the autoencoder.
+func (m *Models) ScoreTraceAE(tr mobiflow.Trace) []WindowScore {
+	vecs := feature.Vectorize(tr, m.Vocab)
+	wins := feature.WindowsAE(vecs, m.Window)
+	dim := m.RecordDim()
+	out := make([]WindowScore, len(wins))
+	for i, w := range wins {
+		s := aeWindowScore(m.AE, w, dim)
+		out[i] = WindowScore{Index: i, Score: s, Threshold: m.AEThreshold, Anomalous: s > m.AEThreshold, Model: ModelAE}
+	}
+	return out
+}
+
+// ScoreTraceLSTM scores every (window, next) pair with the LSTM.
+func (m *Models) ScoreTraceLSTM(tr mobiflow.Trace) []WindowScore {
+	vecs := feature.Vectorize(tr, m.Vocab)
+	wins, nexts := feature.WindowsLSTM(vecs, m.Window)
+	out := make([]WindowScore, len(wins))
+	for i := range wins {
+		s := m.LSTM.Score(wins[i], nexts[i])
+		out[i] = WindowScore{Index: i, Score: s, Threshold: m.LSTMThreshold, Anomalous: s > m.LSTMThreshold, Model: ModelLSTM}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package mobiwatch
+
+import (
+	"testing"
+)
+
+func TestSetPercentileRethresholds(t *testing.T) {
+	_, _, models := fixtures(t)
+	if len(models.AEQuantiles) != 101 || len(models.LSTMQuantiles) != 101 {
+		t.Fatalf("quantiles missing: %d/%d", len(models.AEQuantiles), len(models.LSTMQuantiles))
+	}
+	// Quantiles are non-decreasing.
+	for i := 1; i <= 100; i++ {
+		if models.AEQuantiles[i] < models.AEQuantiles[i-1] {
+			t.Fatalf("AE quantiles not monotone at %d", i)
+		}
+	}
+
+	// Work on a copy: the fixture is shared across tests.
+	m := *models
+	origAE, origLSTM := m.AEThreshold, m.LSTMThreshold
+	if err := m.SetPercentile(90); err != nil {
+		t.Fatal(err)
+	}
+	if m.AEThreshold >= origAE || m.LSTMThreshold >= origLSTM {
+		t.Errorf("90th-pct thresholds (%g, %g) not below 99th-pct (%g, %g)",
+			m.AEThreshold, m.LSTMThreshold, origAE, origLSTM)
+	}
+	if err := m.SetPercentile(99); err != nil {
+		t.Fatal(err)
+	}
+	// Percentile 99 restores (close to) the original fit.
+	rel := (m.AEThreshold - origAE) / origAE
+	if rel > 0.01 || rel < -0.01 {
+		t.Errorf("99th-pct refit %g deviates from original %g", m.AEThreshold, origAE)
+	}
+
+	// Bounds.
+	if err := m.SetPercentile(0); err == nil {
+		t.Error("percentile 0 accepted")
+	}
+	if err := m.SetPercentile(101); err == nil {
+		t.Error("percentile 101 accepted")
+	}
+	if err := m.SetPercentile(100); err != nil {
+		t.Errorf("percentile 100: %v", err)
+	}
+}
+
+func TestSetPercentileWithoutQuantiles(t *testing.T) {
+	m := &Models{}
+	if err := m.SetPercentile(95); err == nil {
+		t.Error("percentile applied without stored quantiles")
+	}
+}
+
+func TestQuantilesSurviveSaveLoad(t *testing.T) {
+	_, _, models := fixtures(t)
+	data, err := models.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.AEQuantiles) != 101 {
+		t.Fatal("quantiles lost in serialization")
+	}
+	if err := loaded.SetPercentile(95); err != nil {
+		t.Fatal(err)
+	}
+	// A copy of the original at 95 matches the reloaded one.
+	m := *models
+	m.SetPercentile(95)
+	if loaded.AEThreshold != m.AEThreshold {
+		t.Errorf("reloaded 95th-pct %g != original %g", loaded.AEThreshold, m.AEThreshold)
+	}
+}

@@ -1,0 +1,252 @@
+package mobiwatch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/feature"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/ric"
+)
+
+// Alert is one flagged anomalous window, handed to the LLM Analyzer.
+type Alert struct {
+	// NodeID is the reporting gNB.
+	NodeID string
+	// Window is the anomalous record window (size N).
+	Window mobiflow.Trace
+	// Context is the surrounding telemetry (window plus preceding
+	// records) the analyzer passes to the LLM (§3.3: "the sequence plus
+	// its context window").
+	Context mobiflow.Trace
+	// Score, Threshold, and Model describe the detection.
+	Score     float64
+	Threshold float64
+	Model     ModelName
+	// At is when the detection fired.
+	At time.Time
+}
+
+// RunOptions configures the online xApp.
+type RunOptions struct {
+	// NodeID is the E2 node to subscribe to.
+	NodeID string
+	// ReportPeriod is the E2SM event-trigger period (default 50 ms,
+	// inside the near-RT control loop).
+	ReportPeriod time.Duration
+	// ContextRecords is how much preceding telemetry each alert carries
+	// (default 12).
+	ContextRecords int
+	// ContextSpan bounds the context temporally: records older than
+	// this (by telemetry timestamp) relative to the window start are
+	// excluded, so stale incidents do not leak into a new analysis
+	// (default 1 s).
+	ContextSpan time.Duration
+	// AlertBuffer bounds the alert channel (default 64).
+	AlertBuffer int
+	// Clock is used for alert timestamps (default time.Now).
+	Clock func() time.Time
+}
+
+func (o *RunOptions) defaults() {
+	if o.ReportPeriod == 0 {
+		o.ReportPeriod = 50 * time.Millisecond
+	}
+	if o.ContextRecords == 0 {
+		o.ContextRecords = 12
+	}
+	if o.AlertBuffer == 0 {
+		o.AlertBuffer = 64
+	}
+	if o.ContextSpan == 0 {
+		o.ContextSpan = time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+}
+
+// Stats counts xApp activity.
+type Stats struct {
+	RecordsSeen    atomic.Uint64
+	WindowsScored  atomic.Uint64
+	AlertsRaised   atomic.Uint64
+	AlertsDropped  atomic.Uint64
+	BatchesHandled atomic.Uint64
+}
+
+// Runtime is a running MobiWatch instance.
+type Runtime struct {
+	models *Models
+	opts   RunOptions
+	xapp   *ric.XApp
+	sub    *ric.Subscription
+
+	alerts chan Alert
+	stats  Stats
+
+	mu      sync.Mutex
+	encoder *feature.Encoder
+	recent  mobiflow.Trace // trailing records for window + context
+	vecs    [][]float64    // encoded counterparts of recent
+	done    chan struct{}
+}
+
+// Run subscribes MobiWatch to a node's MOBIFLOW telemetry and starts
+// online inference. The returned runtime's Alerts channel streams flagged
+// windows until Stop.
+func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
+	opts.defaults()
+	if opts.NodeID == "" {
+		return nil, fmt.Errorf("mobiwatch: RunOptions.NodeID is required")
+	}
+	trigger := asn1lite.Marshal(&e2sm.EventTrigger{Period: opts.ReportPeriod})
+	action := asn1lite.Marshal(&e2sm.ActionDefinition{AllUEs: true})
+	sub, err := x.Subscribe(opts.NodeID, e2sm.MobiFlowRANFunctionID, trigger,
+		[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport, Definition: action}}, 256)
+	if err != nil {
+		return nil, fmt.Errorf("mobiwatch: subscribing to %s: %w", opts.NodeID, err)
+	}
+	rt := &Runtime{
+		models:  models,
+		opts:    opts,
+		xapp:    x,
+		sub:     sub,
+		alerts:  make(chan Alert, opts.AlertBuffer),
+		encoder: feature.NewEncoder(models.Vocab),
+		done:    make(chan struct{}),
+	}
+	go rt.loop()
+	return rt, nil
+}
+
+// Alerts streams flagged windows. Closed when the runtime stops.
+func (rt *Runtime) Alerts() <-chan Alert { return rt.alerts }
+
+// Stats returns live counters.
+func (rt *Runtime) Stats() *Stats { return &rt.stats }
+
+// Stop deletes the subscription and closes the alert stream.
+func (rt *Runtime) Stop() error {
+	err := rt.sub.Delete()
+	<-rt.done
+	return err
+}
+
+// SetThresholdPercentile applies an A1 threshold policy at runtime: both
+// detection thresholds are re-fitted at the given percentile of the
+// stored training-score distribution, without retraining or redeploying.
+func (rt *Runtime) SetThresholdPercentile(pct float64) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.models.SetPercentile(pct)
+}
+
+// Thresholds reports the active detection thresholds.
+func (rt *Runtime) Thresholds() (ae, lstm float64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.models.AEThreshold, rt.models.LSTMThreshold
+}
+
+func (rt *Runtime) loop() {
+	defer close(rt.alerts)
+	defer close(rt.done)
+	for ind := range rt.sub.C() {
+		msg, err := e2sm.DecodeIndicationMessage(ind.Message)
+		if err != nil {
+			continue // malformed batch; counters only
+		}
+		rt.stats.BatchesHandled.Add(1)
+		rt.ingest(ind.NodeID, msg.Records)
+	}
+}
+
+// ingest runs streaming inference over a telemetry batch.
+func (rt *Runtime) ingest(nodeID string, batch mobiflow.Trace) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	N := rt.models.Window
+	sdl := rt.xapp.SDL()
+	for _, rec := range batch {
+		rt.stats.RecordsSeen.Add(1)
+		// Persist telemetry in the SDL for other services (§3.1).
+		sdl.Set("mobiflow", fmt.Sprintf("%s/%020d", nodeID, rec.Seq), mobiflow.Encode(&rec))
+
+		rt.recent = append(rt.recent, rec)
+		rt.vecs = append(rt.vecs, rt.encoder.Encode(rec))
+
+		if len(rt.vecs) >= N {
+			rt.scoreLatest(nodeID)
+		}
+		// Trim history to what context windows need.
+		max := rt.opts.ContextRecords + N + 1
+		if len(rt.recent) > max {
+			drop := len(rt.recent) - max
+			rt.recent = rt.recent[drop:]
+			rt.vecs = rt.vecs[drop:]
+		}
+	}
+}
+
+// scoreLatest evaluates the newest AE window and, when possible, the
+// newest LSTM pair.
+func (rt *Runtime) scoreLatest(nodeID string) {
+	N := rt.models.Window
+	n := len(rt.vecs)
+
+	// Autoencoder: flatten the last N vectors.
+	flat := make([]float64, 0, N*len(rt.vecs[0]))
+	for _, v := range rt.vecs[n-N:] {
+		flat = append(flat, v...)
+	}
+	rt.stats.WindowsScored.Add(1)
+	if s := rt.models.ScoreAEWindow(flat); s > rt.models.AEThreshold {
+		rt.raise(nodeID, rt.recent[len(rt.recent)-N:], s, rt.models.AEThreshold, ModelAE)
+	}
+
+	// LSTM: previous N vectors predict the newest one.
+	if n >= N+1 {
+		window := rt.vecs[n-N-1 : n-1]
+		next := rt.vecs[n-1]
+		rt.stats.WindowsScored.Add(1)
+		if s := rt.models.LSTM.Score(window, next); s > rt.models.LSTMThreshold {
+			rt.raise(nodeID, rt.recent[len(rt.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
+		}
+	}
+}
+
+func (rt *Runtime) raise(nodeID string, window mobiflow.Trace, score, threshold float64, model ModelName) {
+	ctxLen := rt.opts.ContextRecords
+	start := len(rt.recent) - len(window) - ctxLen
+	if start < 0 {
+		start = 0
+	}
+	// Temporal bound: drop context records older than ContextSpan
+	// before the window starts.
+	windowStart := window[0].Timestamp
+	for start < len(rt.recent)-len(window) &&
+		windowStart.Sub(rt.recent[start].Timestamp) > rt.opts.ContextSpan {
+		start++
+	}
+	alert := Alert{
+		NodeID:    nodeID,
+		Window:    append(mobiflow.Trace(nil), window...),
+		Context:   append(mobiflow.Trace(nil), rt.recent[start:]...),
+		Score:     score,
+		Threshold: threshold,
+		Model:     model,
+		At:        rt.opts.Clock(),
+	}
+	select {
+	case rt.alerts <- alert:
+		rt.stats.AlertsRaised.Add(1)
+	default:
+		rt.stats.AlertsDropped.Add(1)
+	}
+}

@@ -1,0 +1,77 @@
+package nas
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+)
+
+// ErrUnknownType is returned by Decode for an unrecognized message type.
+var ErrUnknownType = errors.New("nas: unknown message type")
+
+// Encode serializes a NAS message: one type byte followed by the TLV body.
+func Encode(m Message) []byte {
+	var e asn1lite.Encoder
+	m.MarshalTLV(&e)
+	body := e.Bytes()
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, byte(m.Type()))
+	return append(out, body...)
+}
+
+// Decode parses a wire-form NAS message produced by Encode.
+func Decode(data []byte) (Message, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("nas: empty PDU: %w", asn1lite.ErrTruncated)
+	}
+	t := MsgType(data[0])
+	m := newMessage(t)
+	if m == nil {
+		return nil, fmt.Errorf("decoding type %d: %w", data[0], ErrUnknownType)
+	}
+	d := asn1lite.NewDecoder(data[1:])
+	if err := m.(asn1lite.Unmarshaler).UnmarshalTLV(d); err != nil {
+		return nil, fmt.Errorf("nas: decoding %s: %w", t, err)
+	}
+	return m, nil
+}
+
+func newMessage(t MsgType) Message {
+	switch t {
+	case TypeRegistrationRequest:
+		return &RegistrationRequest{}
+	case TypeRegistrationAccept:
+		return &RegistrationAccept{}
+	case TypeRegistrationComplete:
+		return &RegistrationComplete{}
+	case TypeRegistrationReject:
+		return &RegistrationReject{}
+	case TypeAuthenticationRequest:
+		return &AuthenticationRequest{}
+	case TypeAuthenticationResponse:
+		return &AuthenticationResponse{}
+	case TypeAuthenticationFailure:
+		return &AuthenticationFailure{}
+	case TypeSecurityModeCommand:
+		return &SecurityModeCommand{}
+	case TypeSecurityModeComplete:
+		return &SecurityModeComplete{}
+	case TypeSecurityModeReject:
+		return &SecurityModeReject{}
+	case TypeIdentityRequest:
+		return &IdentityRequest{}
+	case TypeIdentityResponse:
+		return &IdentityResponse{}
+	case TypeServiceRequest:
+		return &ServiceRequest{}
+	case TypeServiceAccept:
+		return &ServiceAccept{}
+	case TypeDeregistrationRequest:
+		return &DeregistrationRequest{}
+	case TypeDeregistrationAccept:
+		return &DeregistrationAccept{}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,54 @@
+package ngap
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeInitialUEMessage, RANUEID: 1, NASPDU: []byte{1, 2}},
+		{Type: TypeUplinkNASTransport, RANUEID: 1, AMFUEID: 9, NASPDU: []byte{3}},
+		{Type: TypeDownlinkNASTransport, RANUEID: 1, AMFUEID: 9, NASPDU: []byte{4, 5}},
+		{Type: TypeInitialContextSetupRequest, RANUEID: 1, AMFUEID: 9},
+		{Type: TypeInitialContextSetupResponse, RANUEID: 1, AMFUEID: 9},
+		{Type: TypeUEContextReleaseCommand, AMFUEID: 9, Cause: "deregistration"},
+		{Type: TypeUEContextReleaseComplete, RANUEID: 1, AMFUEID: 9},
+	}
+	for _, in := range msgs {
+		out, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in.Type, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%s mismatch:\n got %#v\nwant %#v", in.Type, out, in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode(Encode(&Message{Type: MessageType(77)})); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	if TypeDownlinkNASTransport.String() != "DownlinkNASTransport" {
+		t.Errorf("got %q", TypeDownlinkNASTransport.String())
+	}
+	if MessageType(88).String() != "MessageType(88)" {
+		t.Errorf("got %q", MessageType(88).String())
+	}
+}
+
+func TestQuickDecodeRobust(t *testing.T) {
+	f := func(data []byte) bool { Decode(data); return true }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

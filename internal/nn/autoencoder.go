@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Autoencoder compresses an input vector through a bottleneck and
+// reconstructs it: Ŝ = f_AE(S). Trained only on benign windows, it
+// reconstructs unseen benign traffic well and attack windows poorly, so
+// the reconstruction MSE is the anomaly score (§3.2 of the paper).
+type Autoencoder struct {
+	net      *MLP
+	inputDim int
+}
+
+// AEConfig configures NewAutoencoder.
+type AEConfig struct {
+	// InputDim is the flattened window dimension.
+	InputDim int
+	// Hidden lists encoder layer widths down to the bottleneck; the
+	// decoder mirrors it. E.g. {64, 16} builds In→64→16→64→In.
+	Hidden []int
+	// Seed makes initialization deterministic.
+	Seed int64
+}
+
+// NewAutoencoder builds a symmetric autoencoder. Hidden layers use tanh;
+// the output layer is linear so reconstructions are unbounded like the
+// (one-hot / numeric) inputs.
+func NewAutoencoder(cfg AEConfig) *Autoencoder {
+	if cfg.InputDim <= 0 || len(cfg.Hidden) == 0 {
+		panic("nn: NewAutoencoder requires InputDim > 0 and at least one hidden width")
+	}
+	sizes := []int{cfg.InputDim}
+	sizes = append(sizes, cfg.Hidden...)
+	for i := len(cfg.Hidden) - 2; i >= 0; i-- {
+		sizes = append(sizes, cfg.Hidden[i])
+	}
+	sizes = append(sizes, cfg.InputDim)
+	acts := make([]Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = ActTanh
+	}
+	acts[len(acts)-1] = ActIdentity
+	return &Autoencoder{net: NewMLP(cfg.Seed, sizes, acts), inputDim: cfg.InputDim}
+}
+
+// Params implements Model.
+func (a *Autoencoder) Params() []*Param { return a.net.Params() }
+
+// InputDim returns the expected input dimension.
+func (a *Autoencoder) InputDim() int { return a.inputDim }
+
+// Reconstruct returns the autoencoder's reconstruction of x. The returned
+// slice is owned by the network and overwritten by the next call.
+func (a *Autoencoder) Reconstruct(x []float64) []float64 {
+	return a.net.Forward(x)
+}
+
+// Score returns the reconstruction mean squared error for x — the anomaly
+// score used by MobiWatch.
+func (a *Autoencoder) Score(x []float64) float64 {
+	return MSE(a.net.Forward(x), x, nil)
+}
+
+// TrainConfig configures model fitting.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int     // gradient accumulation size; 1 = pure SGD
+	LR        float64 // learning rate (Adam)
+	Seed      int64   // shuffling seed
+	// Verbose receives per-epoch mean loss when non-nil.
+	Verbose func(epoch int, loss float64)
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+}
+
+// Train fits the autoencoder to the benign windows in data and returns the
+// per-epoch mean training loss.
+func (a *Autoencoder) Train(data [][]float64, cfg TrainConfig) ([]float64, error) {
+	cfg.defaults()
+	if len(data) == 0 {
+		return nil, fmt.Errorf("nn: Train called with no data")
+	}
+	for i, x := range data {
+		if len(x) != a.inputDim {
+			return nil, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x), a.inputDim)
+		}
+	}
+	opt := NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	grad := make([]float64, a.inputDim)
+	losses := make([]float64, 0, cfg.Epochs)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		ZeroGrads(a)
+		inBatch := 0
+		for _, idx := range order {
+			x := data[idx]
+			out := a.net.Forward(x)
+			epochLoss += MSE(out, x, grad)
+			a.net.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				scaleGrads(a.Params(), 1/float64(inBatch))
+				opt.Step(a.Params())
+				ZeroGrads(a)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			scaleGrads(a.Params(), 1/float64(inBatch))
+			opt.Step(a.Params())
+			ZeroGrads(a)
+		}
+		mean := epochLoss / float64(len(data))
+		losses = append(losses, mean)
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, mean)
+		}
+	}
+	return losses, nil
+}
+
+func scaleGrads(params []*Param, s float64) {
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= s
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully connected layer y = σ(Wx + b) with weights stored
+// row-major (W[o*In+i] connects input i to output o).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	w *Param // len Out*In
+	b *Param // len Out
+
+	// forward caches (per most recent Forward call)
+	lastIn  []float64
+	lastOut []float64
+}
+
+// NewDense creates a layer with Xavier-initialized weights.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		w:       &Param{Name: fmt.Sprintf("dense%dx%d.w", out, in), W: make([]float64, out*in), G: make([]float64, out*in)},
+		b:       &Param{Name: fmt.Sprintf("dense%dx%d.b", out, in), W: make([]float64, out), G: make([]float64, out)},
+		lastIn:  make([]float64, in),
+		lastOut: make([]float64, out),
+	}
+	xavierInit(rng, d.w.W, in, out)
+	return d
+}
+
+// Params implements Model.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward computes the layer output, caching activations for Backward.
+// The returned slice is owned by the layer and overwritten on next call.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense.Forward input %d, want %d", len(x), d.In))
+	}
+	copy(d.lastIn, x)
+	for o := 0; o < d.Out; o++ {
+		sum := d.b.W[o]
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		d.lastOut[o] = d.Act.apply(sum)
+	}
+	return d.lastOut
+}
+
+// Backward consumes dLoss/dOutput, accumulates parameter gradients, and
+// returns dLoss/dInput. Must follow a Forward call with the matching
+// input. The returned slice is owned by the caller (freshly allocated).
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	if len(gradOut) != d.Out {
+		panic(fmt.Sprintf("nn: Dense.Backward grad %d, want %d", len(gradOut), d.Out))
+	}
+	gradIn := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		delta := gradOut[o] * d.Act.derivFromOutput(d.lastOut[o])
+		d.b.G[o] += delta
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		grow := d.w.G[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += delta * d.lastIn[i]
+			gradIn[i] += delta * row[i]
+		}
+	}
+	return gradIn
+}
+
+// MLP is a stack of dense layers.
+type MLP struct {
+	layers []*Dense
+	params []*Param
+}
+
+// NewMLP builds a multilayer perceptron with the given layer sizes
+// (sizes[0] is the input dimension) and one activation per layer
+// (len(acts) == len(sizes)-1).
+func NewMLP(seed int64, sizes []int, acts []Activation) *MLP {
+	if len(sizes) < 2 || len(acts) != len(sizes)-1 {
+		panic("nn: NewMLP needs len(sizes)>=2 and len(acts)==len(sizes)-1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{}
+	for i := 0; i < len(acts); i++ {
+		l := NewDense(rng, sizes[i], sizes[i+1], acts[i])
+		m.layers = append(m.layers, l)
+		m.params = append(m.params, l.Params()...)
+	}
+	return m
+}
+
+// Params implements Model.
+func (m *MLP) Params() []*Param { return m.params }
+
+// Layers exposes the layer stack (read-only use).
+func (m *MLP) Layers() []*Dense { return m.layers }
+
+// Forward runs the network. The returned slice is owned by the last layer.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dLoss/dOutput through the stack, accumulating
+// parameter gradients, and returns dLoss/dInput.
+func (m *MLP) Backward(gradOut []float64) []float64 {
+	g := gradOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		g = m.layers[i].Backward(g)
+	}
+	return g
+}

@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer Long Short-Term Memory network with a linear
+// projection head. MobiWatch trains it on benign windows to predict the
+// next telemetry entry, x̂_{i+N} = f_LSTM(x_i ... x_{i+N-1}); the
+// prediction MSE against the actual x_{i+N} is the anomaly score (§3.2).
+type LSTM struct {
+	inDim, hidDim, outDim int
+
+	// Gate parameters, stacked i|f|g|o along the first axis:
+	// wx is (4H)×D row-major, wh is (4H)×H, b is 4H.
+	wx, wh, b *Param
+	// Projection head: wy is Dout×H, by is Dout.
+	wy, by *Param
+
+	params []*Param
+
+	// caches for the most recent Sequence forward pass
+	steps []lstmStep
+	yOut  []float64
+}
+
+type lstmStep struct {
+	x          []float64
+	i, f, g, o []float64 // post-activation gates
+	c, h       []float64 // cell and hidden state after this step
+	tanhC      []float64
+}
+
+// NewLSTM builds an LSTM with the given input, hidden, and output widths.
+func NewLSTM(seed int64, inDim, hidDim, outDim int) *LSTM {
+	if inDim <= 0 || hidDim <= 0 || outDim <= 0 {
+		panic("nn: NewLSTM dimensions must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	l := &LSTM{
+		inDim: inDim, hidDim: hidDim, outDim: outDim,
+		wx:   &Param{Name: "lstm.wx", W: make([]float64, 4*hidDim*inDim), G: make([]float64, 4*hidDim*inDim)},
+		wh:   &Param{Name: "lstm.wh", W: make([]float64, 4*hidDim*hidDim), G: make([]float64, 4*hidDim*hidDim)},
+		b:    &Param{Name: "lstm.b", W: make([]float64, 4*hidDim), G: make([]float64, 4*hidDim)},
+		wy:   &Param{Name: "lstm.wy", W: make([]float64, outDim*hidDim), G: make([]float64, outDim*hidDim)},
+		by:   &Param{Name: "lstm.by", W: make([]float64, outDim), G: make([]float64, outDim)},
+		yOut: make([]float64, outDim),
+	}
+	xavierInit(rng, l.wx.W, inDim, hidDim)
+	xavierInit(rng, l.wh.W, hidDim, hidDim)
+	xavierInit(rng, l.wy.W, hidDim, outDim)
+	// Forget-gate bias of 1 is the standard trick for gradient flow.
+	for h := 0; h < hidDim; h++ {
+		l.b.W[hidDim+h] = 1
+	}
+	l.params = []*Param{l.wx, l.wh, l.b, l.wy, l.by}
+	return l
+}
+
+// Params implements Model.
+func (l *LSTM) Params() []*Param { return l.params }
+
+// Dims returns (input, hidden, output) widths.
+func (l *LSTM) Dims() (in, hidden, out int) { return l.inDim, l.hidDim, l.outDim }
+
+// Forward runs the network over a window of input vectors and returns the
+// projection of the final hidden state — the next-step prediction. The
+// returned slice is owned by the network.
+func (l *LSTM) Forward(window [][]float64) []float64 {
+	if len(window) == 0 {
+		panic("nn: LSTM.Forward on empty window")
+	}
+	H := l.hidDim
+	l.steps = l.steps[:0]
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+
+	for _, x := range window {
+		if len(x) != l.inDim {
+			panic(fmt.Sprintf("nn: LSTM input dim %d, want %d", len(x), l.inDim))
+		}
+		st := lstmStep{
+			x: x,
+			i: make([]float64, H), f: make([]float64, H),
+			g: make([]float64, H), o: make([]float64, H),
+			c: make([]float64, H), h: make([]float64, H),
+			tanhC: make([]float64, H),
+		}
+		for h := 0; h < H; h++ {
+			// Pre-activations for the four gates of unit h.
+			var pre [4]float64
+			for gate := 0; gate < 4; gate++ {
+				row := (gate*H + h)
+				sum := l.b.W[row]
+				wxRow := l.wx.W[row*l.inDim : (row+1)*l.inDim]
+				for k, xk := range x {
+					sum += wxRow[k] * xk
+				}
+				whRow := l.wh.W[row*H : (row+1)*H]
+				for k, hk := range hPrev {
+					sum += whRow[k] * hk
+				}
+				pre[gate] = sum
+			}
+			st.i[h] = sigmoid(pre[0])
+			st.f[h] = sigmoid(pre[1])
+			st.g[h] = math.Tanh(pre[2])
+			st.o[h] = sigmoid(pre[3])
+			st.c[h] = st.f[h]*cPrev[h] + st.i[h]*st.g[h]
+			st.tanhC[h] = math.Tanh(st.c[h])
+			st.h[h] = st.o[h] * st.tanhC[h]
+		}
+		l.steps = append(l.steps, st)
+		hPrev, cPrev = st.h, st.c
+	}
+
+	for o := 0; o < l.outDim; o++ {
+		sum := l.by.W[o]
+		row := l.wy.W[o*H : (o+1)*H]
+		for k, hk := range hPrev {
+			sum += row[k] * hk
+		}
+		l.yOut[o] = sum
+	}
+	return l.yOut
+}
+
+// Backward performs truncated BPTT over the cached window, accumulating
+// parameter gradients from dLoss/dOutput.
+func (l *LSTM) Backward(gradOut []float64) {
+	if len(gradOut) != l.outDim {
+		panic(fmt.Sprintf("nn: LSTM.Backward grad dim %d, want %d", len(gradOut), l.outDim))
+	}
+	if len(l.steps) == 0 {
+		panic("nn: LSTM.Backward before Forward")
+	}
+	H := l.hidDim
+	T := len(l.steps)
+
+	// Projection head.
+	last := l.steps[T-1]
+	dh := make([]float64, H)
+	for o := 0; o < l.outDim; o++ {
+		g := gradOut[o]
+		l.by.G[o] += g
+		row := l.wy.W[o*H : (o+1)*H]
+		grow := l.wy.G[o*H : (o+1)*H]
+		for k := 0; k < H; k++ {
+			grow[k] += g * last.h[k]
+			dh[k] += g * row[k]
+		}
+	}
+
+	dc := make([]float64, H)
+	da := make([]float64, 4*H) // pre-activation gate grads for one step
+	for t := T - 1; t >= 0; t-- {
+		st := l.steps[t]
+		var cPrev, hPrev []float64
+		if t > 0 {
+			cPrev, hPrev = l.steps[t-1].c, l.steps[t-1].h
+		} else {
+			cPrev, hPrev = make([]float64, H), make([]float64, H)
+		}
+		for h := 0; h < H; h++ {
+			do := dh[h] * st.tanhC[h]
+			dct := dc[h] + dh[h]*st.o[h]*(1-st.tanhC[h]*st.tanhC[h])
+			di := dct * st.g[h]
+			df := dct * cPrev[h]
+			dg := dct * st.i[h]
+			dc[h] = dct * st.f[h] // becomes dc_{t-1}
+
+			da[0*H+h] = di * st.i[h] * (1 - st.i[h])
+			da[1*H+h] = df * st.f[h] * (1 - st.f[h])
+			da[2*H+h] = dg * (1 - st.g[h]*st.g[h])
+			da[3*H+h] = do * st.o[h] * (1 - st.o[h])
+		}
+		// Accumulate parameter grads and propagate dh_{t-1}.
+		dhPrev := make([]float64, H)
+		for row := 0; row < 4*H; row++ {
+			a := da[row]
+			if a == 0 {
+				continue
+			}
+			l.b.G[row] += a
+			wxRow := l.wx.G[row*l.inDim : (row+1)*l.inDim]
+			for k, xk := range st.x {
+				wxRow[k] += a * xk
+			}
+			whW := l.wh.W[row*H : (row+1)*H]
+			whG := l.wh.G[row*H : (row+1)*H]
+			for k := 0; k < H; k++ {
+				whG[k] += a * hPrev[k]
+				dhPrev[k] += a * whW[k]
+			}
+		}
+		dh = dhPrev
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Score returns the next-step prediction MSE for a window and the actual
+// next entry — the LSTM anomaly score used by MobiWatch.
+func (l *LSTM) Score(window [][]float64, next []float64) float64 {
+	return MSE(l.Forward(window), next, nil)
+}
+
+// TrainNextStep fits the LSTM on (window, next) pairs and returns
+// per-epoch mean loss.
+func (l *LSTM) TrainNextStep(windows [][][]float64, nexts [][]float64, cfg TrainConfig) ([]float64, error) {
+	cfg.defaults()
+	if len(windows) == 0 || len(windows) != len(nexts) {
+		return nil, fmt.Errorf("nn: TrainNextStep needs matching non-empty windows/nexts, got %d/%d", len(windows), len(nexts))
+	}
+	opt := NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(windows))
+	for i := range order {
+		order[i] = i
+	}
+	grad := make([]float64, l.outDim)
+	losses := make([]float64, 0, cfg.Epochs)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		ZeroGrads(l)
+		inBatch := 0
+		for _, idx := range order {
+			out := l.Forward(windows[idx])
+			epochLoss += MSE(out, nexts[idx], grad)
+			l.Backward(grad)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				scaleGrads(l.params, 1/float64(inBatch))
+				clipGrads(l.params, 5)
+				opt.Step(l.params)
+				ZeroGrads(l)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			scaleGrads(l.params, 1/float64(inBatch))
+			clipGrads(l.params, 5)
+			opt.Step(l.params)
+			ZeroGrads(l)
+		}
+		mean := epochLoss / float64(len(windows))
+		losses = append(losses, mean)
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, mean)
+		}
+	}
+	return losses, nil
+}

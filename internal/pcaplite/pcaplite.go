@@ -1,0 +1,164 @@
+// Package pcaplite implements a minimal packet-capture format for the
+// instrumented F1AP/NGAP interfaces. The 6G-XSec dataset pipeline
+// captures control-plane PDUs at these interfaces and later parses them
+// into MOBIFLOW telemetry (§4 of the paper: "we instrument the F1AP and
+// NGAP interface to obtain pcap streams, which are further parsed into
+// MOBIFLOW security telemetry formats").
+//
+// The format is a 8-byte magic header followed by records:
+//
+//	timestamp int64 (ns, big endian)
+//	iface     uint8
+//	length    uint32 (big endian)
+//	payload   length bytes
+package pcaplite
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Interface identifies which instrumented interface captured a packet.
+type Interface uint8
+
+// Capture interfaces.
+const (
+	IfF1AP Interface = iota
+	IfNGAP
+)
+
+// String returns the interface name.
+func (i Interface) String() string {
+	switch i {
+	case IfF1AP:
+		return "F1AP"
+	case IfNGAP:
+		return "NGAP"
+	}
+	return fmt.Sprintf("Interface(%d)", uint8(i))
+}
+
+var magic = [8]byte{'X', 'S', 'E', 'C', 'P', 'C', 'A', '1'}
+
+// MaxPacketSize bounds a single captured payload.
+const MaxPacketSize = 1 << 20
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("pcaplite: bad magic")
+	ErrTruncated = errors.New("pcaplite: truncated capture")
+	ErrOversize  = errors.New("pcaplite: packet exceeds size bound")
+)
+
+// Packet is one captured PDU.
+type Packet struct {
+	Timestamp time.Time
+	Iface     Interface
+	Payload   []byte
+}
+
+// Writer streams packets to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	began bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one packet.
+func (pw *Writer) Write(p Packet) error {
+	if len(p.Payload) > MaxPacketSize {
+		return fmt.Errorf("writing %d bytes: %w", len(p.Payload), ErrOversize)
+	}
+	if !pw.began {
+		if _, err := pw.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("pcaplite: writing header: %w", err)
+		}
+		pw.began = true
+	}
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(p.Timestamp.UnixNano()))
+	hdr[8] = byte(p.Iface)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(p.Payload)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcaplite: writing record header: %w", err)
+	}
+	if _, err := pw.w.Write(p.Payload); err != nil {
+		return fmt.Errorf("pcaplite: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered output to the underlying writer.
+func (pw *Writer) Flush() error { return pw.w.Flush() }
+
+// Reader streams packets from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	began bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next packet, or io.EOF at clean end of capture.
+func (pr *Reader) Next() (Packet, error) {
+	if !pr.began {
+		var got [8]byte
+		if _, err := io.ReadFull(pr.r, got[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Packet{}, io.EOF
+			}
+			return Packet{}, fmt.Errorf("pcaplite: reading header: %w", err)
+		}
+		if got != magic {
+			return Packet{}, ErrBadMagic
+		}
+		pr.began = true
+	}
+	var hdr [13]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcaplite: reading record: %w", ErrTruncated)
+	}
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > MaxPacketSize {
+		return Packet{}, fmt.Errorf("reading %d bytes: %w", n, ErrOversize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(pr.r, payload); err != nil {
+		return Packet{}, fmt.Errorf("pcaplite: reading %d-byte payload: %w", n, ErrTruncated)
+	}
+	return Packet{
+		Timestamp: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[0:8]))).UTC(),
+		Iface:     Interface(hdr[8]),
+		Payload:   payload,
+	}, nil
+}
+
+// ReadAll drains the capture.
+func ReadAll(r io.Reader) ([]Packet, error) {
+	pr := NewReader(r)
+	var out []Packet
+	for {
+		p, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+}

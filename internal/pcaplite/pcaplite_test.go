@@ -1,0 +1,114 @@
+package pcaplite
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Packet{
+		{Timestamp: time.Unix(1, 2).UTC(), Iface: IfF1AP, Payload: []byte{1, 2, 3}},
+		{Timestamp: time.Unix(3, 4).UTC(), Iface: IfNGAP, Payload: []byte{}},
+		{Timestamp: time.Unix(5, 6).UTC(), Iface: IfF1AP, Payload: bytes.Repeat([]byte{9}, 500)},
+	}
+	for _, p := range in {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch: %d vs %d packets", len(in), len(out))
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	out, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(out) != 0 {
+		t.Errorf("out=%v err=%v", out, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("WRONGMAG___"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Packet{Timestamp: time.Unix(0, 0), Iface: IfF1AP, Payload: []byte{1, 2, 3, 4}})
+	w.Flush()
+	data := buf.Bytes()
+	for cut := 9; cut < len(data); cut++ {
+		if _, err := ReadAll(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("cut=%d: truncated capture accepted", cut)
+		}
+	}
+}
+
+func TestOversizeWriteRejected(t *testing.T) {
+	w := NewWriter(io.Discard)
+	err := w.Write(Packet{Payload: make([]byte, MaxPacketSize+1)})
+	if !errors.Is(err, ErrOversize) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInterfaceString(t *testing.T) {
+	if IfF1AP.String() != "F1AP" || IfNGAP.String() != "NGAP" {
+		t.Error("interface names wrong")
+	}
+	if Interface(7).String() != "Interface(7)" {
+		t.Error("unknown interface name wrong")
+	}
+}
+
+// Property: arbitrary payload sequences round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, p := range payloads {
+			if p == nil {
+				p = []byte{}
+			}
+			if err := w.Write(Packet{Timestamp: time.Unix(int64(i), 0).UTC(), Iface: Interface(i % 2), Payload: p}); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := ReadAll(&buf)
+		if err != nil || len(out) != len(payloads) {
+			return false
+		}
+		for i, p := range payloads {
+			if p == nil {
+				p = []byte{}
+			}
+			if !bytes.Equal(out[i].Payload, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package ric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// XApp is a control-plane application registered with the platform. It
+// provides the subscription, control, and SDL primitives the paper's
+// xApps (MobiWatch, LLM Analyzer) are built on.
+type XApp struct {
+	name      string
+	requestor uint32
+	platform  *Platform
+
+	mu       sync.Mutex
+	instance uint32
+}
+
+// RegisterXApp registers an xApp by name and returns its handle. Names
+// must be unique.
+func (p *Platform) RegisterXApp(name string) (*XApp, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := p.xapps[name]; dup {
+		return nil, fmt.Errorf("ric: xApp %q already registered", name)
+	}
+	p.nextReq++
+	x := &XApp{name: name, requestor: p.nextReq, platform: p}
+	p.xapps[name] = x
+	return x, nil
+}
+
+// Name returns the xApp name.
+func (x *XApp) Name() string { return x.name }
+
+// SDL returns the shared data layer.
+func (x *XApp) SDL() *sdl.Store { return x.platform.store }
+
+// Subscription is an active RIC subscription. Indications arrive on C
+// until Delete is called or the node disconnects, after which C is closed.
+type Subscription struct {
+	ID     e2ap.RequestID
+	nodeID string
+	fnID   uint16
+	xapp   *XApp
+
+	ch        chan Indication
+	closeOnce sync.Once
+}
+
+// C is the indication stream.
+func (s *Subscription) C() <-chan Indication { return s.ch }
+
+// NodeID reports which E2 node the subscription is bound to.
+func (s *Subscription) NodeID() string { return s.nodeID }
+
+func (x *XApp) nextRequestID() e2ap.RequestID {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.instance++
+	return e2ap.RequestID{Requestor: x.requestor, Instance: x.instance}
+}
+
+// request performs one request/response E2 procedure against a node.
+func (p *Platform) request(nodeID string, msg *e2ap.Message) (*e2ap.Message, error) {
+	p.mu.Lock()
+	node := p.nodes[nodeID]
+	if node == nil {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchNode, nodeID)
+	}
+	ch := make(chan *e2ap.Message, 1)
+	p.pending[msg.RequestID] = ch
+	p.mu.Unlock()
+
+	if err := node.ep.Send(msg); err != nil {
+		p.mu.Lock()
+		delete(p.pending, msg.RequestID)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("ric: sending %s to %s: %w", msg.Type, nodeID, err)
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(p.timeout):
+		p.mu.Lock()
+		delete(p.pending, msg.RequestID)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%s to %s: %w", msg.Type, nodeID, ErrTimeout)
+	}
+}
+
+// Subscribe establishes a RIC subscription on nodeID's RAN function. The
+// returned subscription's channel buffers buffer indications; a full
+// buffer drops (counted in Metrics), matching the RMR behavior of the OSC
+// platform.
+func (x *XApp) Subscribe(nodeID string, ranFunctionID uint16, eventTrigger []byte, actions []e2ap.Action, buffer int) (*Subscription, error) {
+	reqID := x.nextRequestID()
+	sub := &Subscription{
+		ID:     reqID,
+		nodeID: nodeID,
+		fnID:   ranFunctionID,
+		xapp:   x,
+		ch:     make(chan Indication, buffer),
+	}
+	// Register before sending so indications racing the response are kept.
+	x.platform.mu.Lock()
+	x.platform.subs[reqID] = sub
+	x.platform.mu.Unlock()
+
+	resp, err := x.platform.request(nodeID, &e2ap.Message{
+		Type:          e2ap.TypeSubscriptionRequest,
+		RequestID:     reqID,
+		RANFunctionID: ranFunctionID,
+		EventTrigger:  eventTrigger,
+		Actions:       actions,
+	})
+	if err != nil || resp.Type != e2ap.TypeSubscriptionResponse {
+		x.platform.mu.Lock()
+		delete(x.platform.subs, reqID)
+		x.platform.mu.Unlock()
+		x.platform.metrics.SubscriptionsFail.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrSubscriptionFailed, resp.Cause)
+	}
+	x.platform.metrics.SubscriptionsOK.Add(1)
+	return sub, nil
+}
+
+// Delete tears the subscription down on the node and closes the stream.
+func (s *Subscription) Delete() error {
+	p := s.xapp.platform
+	p.mu.Lock()
+	delete(p.subs, s.ID)
+	p.mu.Unlock()
+	s.closeOnce.Do(func() { close(s.ch) })
+
+	resp, err := p.request(s.nodeID, &e2ap.Message{
+		Type:          e2ap.TypeSubscriptionDeleteRequest,
+		RequestID:     s.ID,
+		RANFunctionID: s.fnID,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type != e2ap.TypeSubscriptionDeleteResponse {
+		return fmt.Errorf("%w: %s", ErrSubscriptionFailed, resp.Cause)
+	}
+	return nil
+}
+
+// Control sends a RIC Control request (the closed-loop feedback primitive
+// of Figure 3) and waits for the acknowledgment.
+func (x *XApp) Control(nodeID string, ranFunctionID uint16, header, message []byte) error {
+	reqID := x.nextRequestID()
+	resp, err := x.platform.request(nodeID, &e2ap.Message{
+		Type:           e2ap.TypeControlRequest,
+		RequestID:      reqID,
+		RANFunctionID:  ranFunctionID,
+		ControlHeader:  header,
+		ControlMessage: message,
+	})
+	if err != nil {
+		x.platform.metrics.ControlsFail.Add(1)
+		return err
+	}
+	if resp.Type != e2ap.TypeControlAck {
+		x.platform.metrics.ControlsFail.Add(1)
+		return fmt.Errorf("%w: %s", ErrControlFailed, resp.Cause)
+	}
+	x.platform.metrics.ControlsOK.Add(1)
+	return nil
+}

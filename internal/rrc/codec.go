@@ -1,0 +1,76 @@
+package rrc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+)
+
+// ErrUnknownType is returned by Decode for an unrecognized message type.
+var ErrUnknownType = errors.New("rrc: unknown message type")
+
+// Encode serializes an RRC message to its wire form: a one-byte message
+// type followed by the TLV-encoded body.
+func Encode(m Message) []byte {
+	var e asn1lite.Encoder
+	m.MarshalTLV(&e)
+	body := e.Bytes()
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, byte(m.Type()))
+	return append(out, body...)
+}
+
+// Decode parses a wire-form RRC message produced by Encode.
+func Decode(data []byte) (Message, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("rrc: empty PDU: %w", asn1lite.ErrTruncated)
+	}
+	t := MsgType(data[0])
+	m := newMessage(t)
+	if m == nil {
+		return nil, fmt.Errorf("decoding type %d: %w", data[0], ErrUnknownType)
+	}
+	d := asn1lite.NewDecoder(data[1:])
+	if err := m.(asn1lite.Unmarshaler).UnmarshalTLV(d); err != nil {
+		return nil, fmt.Errorf("rrc: decoding %s: %w", t, err)
+	}
+	return m, nil
+}
+
+// newMessage allocates the concrete struct for a message type, or nil if
+// the type is unknown.
+func newMessage(t MsgType) Message {
+	switch t {
+	case TypeSetupRequest:
+		return &SetupRequest{}
+	case TypeSetup:
+		return &Setup{}
+	case TypeSetupComplete:
+		return &SetupComplete{}
+	case TypeReject:
+		return &Reject{}
+	case TypeSecurityModeCommand:
+		return &SecurityModeCommand{}
+	case TypeSecurityModeComplete:
+		return &SecurityModeComplete{}
+	case TypeSecurityModeFailure:
+		return &SecurityModeFailure{}
+	case TypeReconfiguration:
+		return &Reconfiguration{}
+	case TypeReconfigurationComplete:
+		return &ReconfigurationComplete{}
+	case TypeULInformationTransfer:
+		return &ULInformationTransfer{}
+	case TypeDLInformationTransfer:
+		return &DLInformationTransfer{}
+	case TypeReestablishmentRequest:
+		return &ReestablishmentRequest{}
+	case TypeReestablishment:
+		return &Reestablishment{}
+	case TypeRelease:
+		return &Release{}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,213 @@
+// Package sdl implements the Shared Data Layer of the near-RT RIC: a
+// namespaced, versioned, concurrent key-value store that xApps and
+// platform services use to share state (§3.1 of the paper: "the xApp
+// stores [telemetry] in the Shared Data Layer (SDL) which is a centralized
+// database that can be accessed by other nRT-RIC services and xApps").
+//
+// The OSC reference implementation backs its SDL with Redis; this package
+// provides an in-process equivalent with the operations the framework
+// needs: get/set/delete with versions, prefix listing, watch subscriptions,
+// and per-key TTL.
+package sdl
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event describes one mutation delivered to watchers.
+type Event struct {
+	Namespace string
+	Key       string
+	Value     []byte // nil for deletions
+	Version   uint64
+	Deleted   bool
+}
+
+// Store is the shared data layer. The zero value is not usable; call New.
+type Store struct {
+	mu       sync.RWMutex
+	ns       map[string]map[string]entry
+	version  uint64
+	watchers map[int]*watcher
+	nextWID  int
+	clock    func() time.Time
+}
+
+type entry struct {
+	value     []byte
+	version   uint64
+	expiresAt time.Time // zero = no TTL
+}
+
+type watcher struct {
+	namespace string
+	prefix    string
+	ch        chan Event
+}
+
+// New returns an empty store using the real clock.
+func New() *Store { return NewWithClock(time.Now) }
+
+// NewWithClock returns a store with an injectable clock for TTL tests.
+func NewWithClock(clock func() time.Time) *Store {
+	return &Store{
+		ns:       make(map[string]map[string]entry),
+		watchers: make(map[int]*watcher),
+		clock:    clock,
+	}
+}
+
+// Set stores value under (namespace, key) and returns the new version.
+// The value is copied.
+func (s *Store) Set(namespace, key string, value []byte) uint64 {
+	return s.SetTTL(namespace, key, value, 0)
+}
+
+// SetTTL stores value with a time-to-live; ttl <= 0 means no expiry.
+func (s *Store) SetTTL(namespace, key string, value []byte, ttl time.Duration) uint64 {
+	s.mu.Lock()
+	m, ok := s.ns[namespace]
+	if !ok {
+		m = make(map[string]entry)
+		s.ns[namespace] = m
+	}
+	s.version++
+	v := s.version
+	e := entry{value: append([]byte(nil), value...), version: v}
+	if ttl > 0 {
+		e.expiresAt = s.clock().Add(ttl)
+	}
+	m[key] = e
+	s.mu.Unlock()
+
+	s.notify(Event{Namespace: namespace, Key: key, Value: e.value, Version: v})
+	return v
+}
+
+// Get returns the value and version for (namespace, key). ok is false if
+// the key is absent or expired. The returned slice must not be mutated.
+func (s *Store) Get(namespace, key string) (value []byte, version uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.ns[namespace][key]
+	if !ok || s.expired(e) {
+		return nil, 0, false
+	}
+	return e.value, e.version, true
+}
+
+// Delete removes a key; it reports whether the key existed.
+func (s *Store) Delete(namespace, key string) bool {
+	s.mu.Lock()
+	m := s.ns[namespace]
+	e, ok := m[key]
+	if ok {
+		delete(m, key)
+		s.version++
+	}
+	v := s.version
+	s.mu.Unlock()
+	if ok && !s.expired(e) {
+		s.notify(Event{Namespace: namespace, Key: key, Version: v, Deleted: true})
+	}
+	return ok
+}
+
+// Keys lists the live keys in a namespace with the given prefix, sorted.
+func (s *Store) Keys(namespace, prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k, e := range s.ns[namespace] {
+		if strings.HasPrefix(k, prefix) && !s.expired(e) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GetAll returns all live (key, value) pairs under a prefix; values are
+// copies.
+func (s *Store) GetAll(namespace, prefix string) map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte)
+	for k, e := range s.ns[namespace] {
+		if strings.HasPrefix(k, prefix) && !s.expired(e) {
+			out[k] = append([]byte(nil), e.value...)
+		}
+	}
+	return out
+}
+
+func (s *Store) expired(e entry) bool {
+	return !e.expiresAt.IsZero() && s.clock().After(e.expiresAt)
+}
+
+// Watch subscribes to mutations in a namespace under a key prefix. The
+// returned channel has the given buffer; events overflowing a full buffer
+// are dropped (watchers must keep up, as with the OSC notification
+// service). cancel stops delivery and closes the channel.
+func (s *Store) Watch(namespace, prefix string, buffer int) (events <-chan Event, cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextWID
+	s.nextWID++
+	w := &watcher{namespace: namespace, prefix: prefix, ch: make(chan Event, buffer)}
+	s.watchers[id] = w
+	return w.ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if ww, ok := s.watchers[id]; ok {
+			delete(s.watchers, id)
+			close(ww.ch)
+		}
+	}
+}
+
+func (s *Store) notify(ev Event) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, w := range s.watchers {
+		if w.namespace != ev.Namespace || !strings.HasPrefix(ev.Key, w.prefix) {
+			continue
+		}
+		select {
+		case w.ch <- ev:
+		default: // drop on overflow
+		}
+	}
+}
+
+// Purge removes expired entries and returns how many were dropped.
+func (s *Store) Purge() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.ns {
+		for k, e := range m {
+			if s.expired(e) {
+				delete(m, k)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Len reports the number of live keys in a namespace.
+func (s *Store) Len(namespace string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.ns[namespace] {
+		if !s.expired(e) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package sdl
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	s := New()
+	v1 := s.Set("ns", "k", []byte("one"))
+	got, ver, ok := s.Get("ns", "k")
+	if !ok || string(got) != "one" || ver != v1 {
+		t.Fatalf("Get = %q v%d ok=%v", got, ver, ok)
+	}
+	v2 := s.Set("ns", "k", []byte("two"))
+	if v2 <= v1 {
+		t.Errorf("version did not advance: %d -> %d", v1, v2)
+	}
+	if !s.Delete("ns", "k") {
+		t.Error("Delete returned false for existing key")
+	}
+	if _, _, ok := s.Get("ns", "k"); ok {
+		t.Error("key present after delete")
+	}
+	if s.Delete("ns", "k") {
+		t.Error("Delete returned true for absent key")
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	s := New()
+	s.Set("a", "k", []byte("va"))
+	s.Set("b", "k", []byte("vb"))
+	got, _, _ := s.Get("a", "k")
+	if string(got) != "va" {
+		t.Errorf("namespace a = %q", got)
+	}
+	if s.Len("a") != 1 || s.Len("b") != 1 {
+		t.Error("Len per namespace wrong")
+	}
+}
+
+func TestValueIsCopied(t *testing.T) {
+	s := New()
+	buf := []byte("mutable")
+	s.Set("ns", "k", buf)
+	buf[0] = 'X'
+	got, _, _ := s.Get("ns", "k")
+	if string(got) != "mutable" {
+		t.Errorf("stored value aliased caller buffer: %q", got)
+	}
+}
+
+func TestKeysAndGetAll(t *testing.T) {
+	s := New()
+	s.Set("ns", "ue/1", []byte("a"))
+	s.Set("ns", "ue/2", []byte("b"))
+	s.Set("ns", "model/ae", []byte("m"))
+	keys := s.Keys("ns", "ue/")
+	if !reflect.DeepEqual(keys, []string{"ue/1", "ue/2"}) {
+		t.Errorf("Keys = %v", keys)
+	}
+	all := s.GetAll("ns", "ue/")
+	if len(all) != 2 || string(all["ue/1"]) != "a" {
+		t.Errorf("GetAll = %v", all)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewWithClock(func() time.Time { return now })
+	s.SetTTL("ns", "k", []byte("v"), time.Second)
+	if _, _, ok := s.Get("ns", "k"); !ok {
+		t.Fatal("fresh TTL key missing")
+	}
+	now = now.Add(2 * time.Second)
+	if _, _, ok := s.Get("ns", "k"); ok {
+		t.Error("expired key still visible")
+	}
+	if s.Len("ns") != 0 {
+		t.Error("expired key counted in Len")
+	}
+	if n := s.Purge(); n != 1 {
+		t.Errorf("Purge = %d, want 1", n)
+	}
+}
+
+func TestWatchDeliversMatchingEvents(t *testing.T) {
+	s := New()
+	events, cancel := s.Watch("ns", "ue/", 10)
+	defer cancel()
+
+	s.Set("ns", "ue/1", []byte("x"))
+	s.Set("ns", "other", []byte("y"))   // prefix mismatch
+	s.Set("other", "ue/1", []byte("z")) // namespace mismatch
+	s.Delete("ns", "ue/1")
+
+	ev1 := <-events
+	if ev1.Key != "ue/1" || ev1.Deleted || string(ev1.Value) != "x" {
+		t.Errorf("event 1 = %+v", ev1)
+	}
+	ev2 := <-events
+	if !ev2.Deleted || ev2.Key != "ue/1" {
+		t.Errorf("event 2 = %+v", ev2)
+	}
+	select {
+	case ev := <-events:
+		t.Errorf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+func TestWatchCancelClosesChannel(t *testing.T) {
+	s := New()
+	events, cancel := s.Watch("ns", "", 1)
+	cancel()
+	if _, open := <-events; open {
+		t.Error("channel open after cancel")
+	}
+	cancel() // idempotent
+	s.Set("ns", "k", nil)
+}
+
+func TestWatchOverflowDrops(t *testing.T) {
+	s := New()
+	events, cancel := s.Watch("ns", "", 1)
+	defer cancel()
+	s.Set("ns", "a", []byte("1"))
+	s.Set("ns", "b", []byte("2")) // dropped: buffer full
+	ev := <-events
+	if ev.Key != "a" {
+		t.Errorf("got %q", ev.Key)
+	}
+	select {
+	case ev := <-events:
+		t.Errorf("overflow event delivered: %+v", ev)
+	default:
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.Set("ns", key, []byte{byte(g)})
+				s.Get("ns", key)
+				s.Keys("ns", "k")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len("ns") != 10 {
+		t.Errorf("Len = %d, want 10", s.Len("ns"))
+	}
+}
+
+// Property: a Set followed by Get returns the stored value with a
+// monotonically increasing version.
+func TestQuickSetGet(t *testing.T) {
+	s := New()
+	var lastVer uint64
+	f := func(key string, value []byte) bool {
+		v := s.Set("ns", key, value)
+		got, ver, ok := s.Get("ns", key)
+		if !ok || ver != v || v <= lastVer {
+			return false
+		}
+		lastVer = v
+		return bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := New()
+	val := bytes.Repeat([]byte{1}, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set("ns", "key", val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	s.Set("ns", "key", bytes.Repeat([]byte{1}, 128))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get("ns", "key")
+	}
+}

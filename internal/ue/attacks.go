@@ -1,0 +1,272 @@
+package ue
+
+import (
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/gnb"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// This file implements the five end-to-end attacks the paper evaluates
+// (§4, Table 2/3). Each returns an AttackResult naming the UE contexts it
+// used so the dataset labeler can mark the malicious telemetry entries.
+
+// AttackKind identifies one of the five implemented attacks.
+type AttackKind uint8
+
+// The five attacks of the paper's evaluation.
+const (
+	AttackBTSDoS AttackKind = iota
+	AttackBlindDoS
+	AttackUplinkIDExtraction
+	AttackDownlinkIDExtraction
+	AttackNullCipher
+)
+
+var attackNames = [...]string{
+	"BTS DoS", "Blind DoS", "Uplink ID Extraction",
+	"Downlink ID Extraction", "Null Cipher & Integrity",
+}
+
+// String returns the attack's name as used in the paper's tables.
+func (k AttackKind) String() string {
+	if int(k) < len(attackNames) {
+		return attackNames[k]
+	}
+	return fmt.Sprintf("AttackKind(%d)", uint8(k))
+}
+
+// AttackResult reports the footprint of one attack execution.
+type AttackResult struct {
+	Kind AttackKind
+	// UEIDs are the CU contexts the attacker consumed, in order.
+	UEIDs []uint64
+	// RNTIs are the corresponding C-RNTIs (the Figure 2b identifier
+	// stream).
+	RNTIs []cell.RNTI
+}
+
+// RunBTSDoS floods the RAN with fabricated RRC connections abandoned at
+// the authentication stage (Kim et al. [38]; Figure 2b): a rapid burst of
+// interleaved connection attempts, each with a fresh random identity,
+// driven to the registration request and then abandoned — consuming a new
+// RNTI and a CU/AMF context every time. The attempts are issued in waves
+// (all setup requests back-to-back, then all completions), the "rapid
+// succession of uncompleted UE connection requests" of the paper.
+func (u *UE) RunBTSDoS(g *gnb.GNB, connections int) (AttackResult, error) {
+	res := AttackResult{Kind: AttackBTSDoS}
+	links := make([]*gnb.Link, connections)
+	for i := range links {
+		links[i] = g.Attach()
+		res.UEIDs = append(res.UEIDs, links[i].UEID())
+		res.RNTIs = append(res.RNTIs, links[i].RNTI())
+	}
+	// Wave 1: burst of setup requests.
+	for _, link := range links {
+		id := rrc.UEIdentity{Kind: rrc.IdentityRandom, Random: u.rng.Uint64() & (1<<39 - 1)}
+		if err := u.send(link, &rrc.SetupRequest{Identity: id, Cause: cell.CauseMOSignalling}); err != nil {
+			return res, err
+		}
+	}
+	// Wave 2: complete each and fire a registration, then vanish once
+	// the authentication challenge arrives.
+	regReq := &nas.RegistrationRequest{
+		RegType:    nas.RegInitial,
+		Identity:   nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: u.suci()},
+		Capability: u.Profile.Capability,
+	}
+	for _, link := range links {
+		if _, ok := link.TryRecv(); !ok { // RRCSetup
+			return res, ErrStalled
+		}
+		if err := u.send(link, &rrc.SetupComplete{NASPDU: nas.Encode(regReq)}); err != nil {
+			return res, err
+		}
+		link.Abandon()
+	}
+	return res, nil
+}
+
+// RunBlindDoS replays a victim's S-TMSI in spoofed setup/registration
+// attempts across multiple sessions (Kim et al. [38]): the network
+// observes the same temporary identity on overlapping fresh contexts,
+// each aborted at authentication. The victim's pending procedures are
+// disrupted while the attacker never authenticates.
+func (u *UE) RunBlindDoS(g *gnb.GNB, victimTMSI cell.TMSI, attempts int) (AttackResult, error) {
+	res := AttackResult{Kind: AttackBlindDoS}
+	// Wave 1: burst of spoofed setup requests, all presenting the
+	// victim's S-TMSI.
+	var live []*gnb.Link
+	for i := 0; i < attempts; i++ {
+		link := g.Attach()
+		res.UEIDs = append(res.UEIDs, link.UEID())
+		res.RNTIs = append(res.RNTIs, link.RNTI())
+		id := rrc.UEIdentity{Kind: rrc.IdentityTMSI, TMSI: victimTMSI}
+		if err := u.send(link, &rrc.SetupRequest{Identity: id, Cause: cell.CauseMTAccess}); err != nil {
+			return res, err
+		}
+		live = append(live, link)
+	}
+	// Wave 2: push each admitted connection to registration with the
+	// victim's GUTI, then abandon at the challenge.
+	for _, link := range live {
+		dl, ok := link.TryRecv()
+		if !ok {
+			return res, ErrStalled
+		}
+		if _, rejected := dl.(*rrc.Reject); rejected {
+			// The network blocked the TMSI (closed-loop response).
+			continue
+		}
+		regReq := &nas.RegistrationRequest{
+			RegType: nas.RegMobilityUpdate,
+			Identity: nas.MobileIdentity{Type: nas.IdentityGUTI,
+				GUTI: cell.GUTI{PLMN: cell.TestPLMN, AMFSetID: 1, TMSI: victimTMSI}},
+			Capability: u.Profile.Capability,
+		}
+		if err := u.send(link, &rrc.SetupComplete{NASPDU: nas.Encode(regReq)}); err != nil {
+			return res, err
+		}
+		link.Abandon()
+	}
+	return res, nil
+}
+
+// RunUplinkIDExtraction models the AdaptOver-style attack (Erni et
+// al. [32]; Figure 2a): the MiTM overshadows the victim's uplink so the
+// network receives a plaintext IdentityResponse where an
+// AuthenticationResponse belongs. The remaining trace is standard-
+// compliant — the paper notes this is the hardest pattern to detect.
+func (u *UE) RunUplinkIDExtraction(g *gnb.GNB) (AttackResult, error) {
+	res := AttackResult{Kind: AttackUplinkIDExtraction}
+	link := g.Attach()
+	res.UEIDs = append(res.UEIDs, link.UEID())
+	res.RNTIs = append(res.RNTIs, link.RNTI())
+
+	id := rrc.UEIdentity{Kind: rrc.IdentityRandom, Random: u.rng.Uint64() & (1<<39 - 1)}
+	if err := u.send(link, &rrc.SetupRequest{Identity: id, Cause: u.cause()}); err != nil {
+		return res, err
+	}
+	if _, ok := link.TryRecv(); !ok {
+		return res, ErrStalled
+	}
+	regReq := &nas.RegistrationRequest{
+		RegType:    nas.RegInitial,
+		Identity:   nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: u.suci()},
+		Capability: u.Profile.Capability,
+	}
+	if err := u.send(link, &rrc.SetupComplete{NASPDU: nas.Encode(regReq)}); err != nil {
+		return res, err
+	}
+	// The authentication request arrives; the overshadowed uplink
+	// carries an identity response instead of the RES*.
+	dl, ok := link.TryRecv()
+	if !ok {
+		return res, ErrStalled
+	}
+	if _, isDL := dl.(*rrc.DLInformationTransfer); !isDL {
+		return res, fmt.Errorf("ue: expected authentication request, got %s", dl.Type())
+	}
+	if err := u.sendNAS(link, &nas.IdentityResponse{
+		Identity: nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: u.suci()},
+	}); err != nil {
+		return res, err
+	}
+	// The network re-challenges; the victim then completes normally, so
+	// the overall session looks benign apart from the swapped message.
+	sessRes := SessionResult{UEID: link.UEID(), RNTI: link.RNTI()}
+	for guard := 0; guard < 64; guard++ {
+		dl, ok := link.TryRecv()
+		if !ok {
+			break
+		}
+		if _, err := u.handleDownlink(link, dl, &sessRes); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// RunDownlinkIDExtraction models the LTrack-style attack (Kotuliak et
+// al. [40]): the attacker injects a downlink IdentityRequest over the
+// air, so the victim transmits a plaintext IdentityResponse the network
+// never solicited — an out-of-place identity procedure right after
+// connection establishment.
+func (u *UE) RunDownlinkIDExtraction(g *gnb.GNB) (AttackResult, error) {
+	res := AttackResult{Kind: AttackDownlinkIDExtraction}
+	link := g.Attach()
+	res.UEIDs = append(res.UEIDs, link.UEID())
+	res.RNTIs = append(res.RNTIs, link.RNTI())
+
+	id := rrc.UEIdentity{Kind: rrc.IdentityRandom, Random: u.rng.Uint64() & (1<<39 - 1)}
+	if err := u.send(link, &rrc.SetupRequest{Identity: id, Cause: u.cause()}); err != nil {
+		return res, err
+	}
+	if _, ok := link.TryRecv(); !ok {
+		return res, ErrStalled
+	}
+	// The injected (attacker) IdentityRequest is invisible to the
+	// network; the victim's answer is not: instead of a registration,
+	// the first NAS the network sees is a plaintext identity response.
+	idResp := &nas.IdentityResponse{
+		Identity: nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: u.suci()},
+	}
+	if err := u.send(link, &rrc.SetupComplete{NASPDU: nas.Encode(idResp)}); err != nil {
+		return res, err
+	}
+	link.Abandon()
+	return res, nil
+}
+
+// RunNullCipher models the bid-down attack (Hussain et al. [37]): the
+// MiTM strips the victim's security capabilities so registration
+// completes with NEA0/NIA0 — no confidentiality or integrity — which the
+// telemetry exposes as active null security.
+func (u *UE) RunNullCipher(g *gnb.GNB) (AttackResult, error) {
+	res := AttackResult{Kind: AttackNullCipher}
+	// The bid-down is modeled by the capability mask the network sees.
+	downgraded := *u
+	downgraded.Profile.Capability = 1 | 1<<8 // NEA0 + NIA0 only
+	downgraded.Profile.Deregisters = false
+
+	link := g.Attach()
+	res.UEIDs = append(res.UEIDs, link.UEID())
+	res.RNTIs = append(res.RNTIs, link.RNTI())
+
+	id := rrc.UEIdentity{Kind: rrc.IdentityRandom, Random: u.rng.Uint64() & (1<<39 - 1)}
+	if err := downgraded.send(link, &rrc.SetupRequest{Identity: id, Cause: downgraded.cause()}); err != nil {
+		return res, err
+	}
+	if _, ok := link.TryRecv(); !ok {
+		return res, ErrStalled
+	}
+	regReq := &nas.RegistrationRequest{
+		RegType:    nas.RegInitial,
+		Identity:   nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: downgraded.suci()},
+		Capability: downgraded.Profile.Capability,
+	}
+	if err := downgraded.send(link, &rrc.SetupComplete{NASPDU: nas.Encode(regReq)}); err != nil {
+		return res, err
+	}
+	sessRes := SessionResult{UEID: link.UEID(), RNTI: link.RNTI()}
+	for guard := 0; guard < 64; guard++ {
+		dl, ok := link.TryRecv()
+		if !ok {
+			break
+		}
+		done, err := downgraded.handleDownlink(link, dl, &sessRes)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			break
+		}
+	}
+	if !sessRes.Registered {
+		return res, fmt.Errorf("ue: null-cipher session did not register (network hardened?)")
+	}
+	link.Abandon()
+	return res, nil
+}

@@ -1,0 +1,100 @@
+// Package ue simulates user equipment against the simulated gNB: benign
+// sessions driven by commodity-device profiles (the paper's Pixel 5/6,
+// Galaxy A22/A53, and OAI soft-UE), and the five end-to-end attacks the
+// paper evaluates (§2.2, §4): BTS DoS, Blind DoS, uplink and downlink
+// identity extraction, and the null-cipher-and-integrity bid-down.
+package ue
+
+import (
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/corenet"
+)
+
+// Profile captures the behavioral fingerprint of a device model. The
+// paper collects benign traffic from four commodity phones plus OAI UEs
+// on COLOSSEUM to diversify the benign distribution; these profiles
+// reproduce that diversity (establishment-cause mix, capability set,
+// retransmission propensity, post-registration behavior).
+type Profile struct {
+	// Name identifies the device model.
+	Name string
+	// Capability is the NEA/NIA support bitmask advertised in the
+	// registration request.
+	Capability uint32
+	// Causes is the establishment-cause repertoire; sessions draw
+	// uniformly from it.
+	Causes []cell.EstablishmentCause
+	// RetransProb is the probability that an uplink message is
+	// duplicated by radio noise — the paper's main benign-FP source.
+	RetransProb float64
+	// SendsRegistrationComplete: some baseband stacks acknowledge the
+	// registration accept, some fold it into the next procedure.
+	SendsRegistrationComplete bool
+	// Deregisters: whether sessions end with an explicit
+	// deregistration (vs. silently going out of coverage).
+	Deregisters bool
+}
+
+// The benign device fleet.
+var (
+	// Pixel5 models the Google Pixel 5.
+	Pixel5 = Profile{
+		Name:       "pixel-5",
+		Capability: corenet.CapAll,
+		Causes: []cell.EstablishmentCause{
+			cell.CauseMOSignalling, cell.CauseMOData, cell.CauseMTAccess,
+		},
+		RetransProb:               0.02,
+		SendsRegistrationComplete: true,
+		Deregisters:               true,
+	}
+	// Pixel6 models the Google Pixel 6.
+	Pixel6 = Profile{
+		Name:       "pixel-6",
+		Capability: corenet.CapAll,
+		Causes: []cell.EstablishmentCause{
+			cell.CauseMOSignalling, cell.CauseMOData, cell.CauseMOVoiceCall,
+		},
+		RetransProb:               0.015,
+		SendsRegistrationComplete: true,
+		Deregisters:               true,
+	}
+	// GalaxyA22 models the Samsung Galaxy A22 (no NEA3/NIA3 support in
+	// its modem firmware generation).
+	GalaxyA22 = Profile{
+		Name: "galaxy-a22",
+		Capability: corenet.CapNEA0 | corenet.CapNEA1 | corenet.CapNEA2 |
+			corenet.CapNIA0 | corenet.CapNIA1 | corenet.CapNIA2,
+		Causes: []cell.EstablishmentCause{
+			cell.CauseMOSignalling, cell.CauseMOData, cell.CauseMOSMS,
+		},
+		RetransProb:               0.04,
+		SendsRegistrationComplete: false,
+		Deregisters:               true,
+	}
+	// GalaxyA53 models the Samsung Galaxy A53.
+	GalaxyA53 = Profile{
+		Name:       "galaxy-a53",
+		Capability: corenet.CapAll,
+		Causes: []cell.EstablishmentCause{
+			cell.CauseMOSignalling, cell.CauseMOData, cell.CauseMOSMS, cell.CauseMTAccess,
+		},
+		RetransProb:               0.03,
+		SendsRegistrationComplete: false,
+		Deregisters:               true,
+	}
+	// OAIUE models the OpenAirInterface software UE used on COLOSSEUM.
+	OAIUE = Profile{
+		Name:       "oai-ue",
+		Capability: corenet.CapAll,
+		Causes: []cell.EstablishmentCause{
+			cell.CauseMOSignalling,
+		},
+		RetransProb:               0.01,
+		SendsRegistrationComplete: true,
+		Deregisters:               false, // soft UEs are usually killed, not detached
+	}
+)
+
+// Profiles lists the benign fleet in a stable order.
+var Profiles = []Profile{Pixel5, Pixel6, GalaxyA22, GalaxyA53, OAIUE}

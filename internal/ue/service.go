@@ -1,0 +1,69 @@
+package ue
+
+import (
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/gnb"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// RunServiceSession drives an idle→connected service resumption for a UE
+// that registered earlier in this process (it presents the remembered
+// 5G-S-TMSI): RRC establishment with the TMSI identity, a NAS Service
+// Request, and the network's Service Accept. It diversifies benign
+// traffic beyond full registrations.
+func (u *UE) RunServiceSession(g *gnb.GNB) (SessionResult, error) {
+	if u.guti == nil {
+		return SessionResult{}, fmt.Errorf("ue: no remembered GUTI; register first")
+	}
+	link := g.Attach()
+	res := SessionResult{UEID: link.UEID(), RNTI: link.RNTI()}
+
+	id := rrc.UEIdentity{Kind: rrc.IdentityTMSI, TMSI: u.guti.TMSI}
+	if err := u.send(link, &rrc.SetupRequest{Identity: id, Cause: u.cause()}); err != nil {
+		return res, err
+	}
+	dl, ok := link.TryRecv()
+	if !ok {
+		return res, ErrStalled
+	}
+	if _, rejected := dl.(*rrc.Reject); rejected {
+		return res, ErrRejected
+	}
+
+	svc := &nas.ServiceRequest{TMSI: u.guti.TMSI}
+	if err := u.send(link, &rrc.SetupComplete{NASPDU: nas.Encode(svc)}); err != nil {
+		return res, err
+	}
+	dl, ok = link.TryRecv()
+	if !ok {
+		return res, ErrStalled
+	}
+	info, isInfo := dl.(*rrc.DLInformationTransfer)
+	if !isInfo {
+		return res, fmt.Errorf("ue: expected NAS transport, got %s", dl.Type())
+	}
+	nasMsg, err := nas.Decode(info.NASPDU)
+	if err != nil {
+		return res, err
+	}
+	switch nasMsg.(type) {
+	case *nas.ServiceAccept:
+		res.Registered = true
+		res.GUTI = *u.guti
+	case *nas.RegistrationReject:
+		// The network no longer knows the TMSI; the UE falls back to a
+		// full registration next time.
+		u.guti = nil
+		return res, fmt.Errorf("%w: service request rejected", ErrRejected)
+	default:
+		return res, fmt.Errorf("ue: unexpected NAS %s to service request", nasMsg.Type())
+	}
+
+	// Dwell, then vanish back to idle (no explicit signalling, as with
+	// a real inactivity transition).
+	u.pace()
+	link.Abandon()
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package ue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestServiceSession(t *testing.T) {
+	g, amf := testEnv(t)
+	u := provision(amf, 1)[0]
+	u.Profile.RetransProb = 0
+	u.Profile.Deregisters = false
+
+	// No GUTI yet: service request impossible.
+	if _, err := u.RunServiceSession(g); err == nil {
+		t.Fatal("service session without registration succeeded")
+	}
+
+	res, err := u.RunSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReleaseUE(res.UEID)
+	amf.ReleaseUE(res.UEID)
+
+	sres, err := u.RunServiceSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Registered || sres.GUTI.TMSI != res.GUTI.TMSI {
+		t.Errorf("service result = %+v", sres)
+	}
+
+	// Telemetry shows the service request and accept.
+	tr := g.Records().FilterUE(sres.UEID)
+	msgs := tr.Messages()
+	var sawReq, sawAcc bool
+	for _, m := range msgs {
+		if m == "ServiceRequest" {
+			sawReq = true
+		}
+		if m == "ServiceAccept" {
+			sawAcc = true
+		}
+	}
+	if !sawReq || !sawAcc {
+		t.Errorf("service telemetry = %v", msgs)
+	}
+	for _, r := range tr {
+		if r.OutOfOrder {
+			t.Errorf("benign service record flagged: %s", r)
+		}
+	}
+}
+
+func TestServiceSessionWithStaleTMSI(t *testing.T) {
+	g, amf := testEnv(t)
+	ues := provision(amf, 2)
+	u := ues[0]
+	u.Profile.RetransProb = 0
+	u.Profile.Deregisters = false
+
+	res, err := u.RunSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReleaseUE(res.UEID)
+	amf.ReleaseUE(res.UEID)
+
+	// A second registration rotates the TMSI, invalidating the old one.
+	res2, err := u.RunSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReleaseUE(res2.UEID)
+	amf.ReleaseUE(res2.UEID)
+
+	// Force the UE to remember the stale TMSI.
+	stale := res.GUTI
+	u.guti = &stale
+	if _, err := u.RunServiceSession(g); !errors.Is(err, ErrRejected) {
+		t.Errorf("stale TMSI service: err = %v, want ErrRejected", err)
+	}
+	if u.guti != nil {
+		t.Error("stale GUTI not dropped after rejection")
+	}
+}

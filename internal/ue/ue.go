@@ -1,0 +1,242 @@
+package ue
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/gnb"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// UE is one simulated device with a provisioned SIM.
+type UE struct {
+	SUPI    cell.SUPI
+	K       [nas.KeySize]byte
+	Profile Profile
+
+	// Pace, when non-nil, is called before every uplink transmission;
+	// the dataset generator uses it to advance a virtual clock.
+	Pace func()
+
+	rng  *rand.Rand
+	guti *cell.GUTI // remembered from a prior registration
+}
+
+// New creates a UE. The seed drives per-UE behavioral randomness
+// (establishment causes, retransmissions, identity choice).
+func New(supi cell.SUPI, k [nas.KeySize]byte, profile Profile, seed int64) *UE {
+	return &UE{SUPI: supi, K: k, Profile: profile, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SessionResult summarizes one driven session.
+type SessionResult struct {
+	// UEID is the CU context the session used.
+	UEID uint64
+	// RNTI is the allocated C-RNTI.
+	RNTI cell.RNTI
+	// Registered reports whether registration completed.
+	Registered bool
+	// GUTI is the assigned temporary identity if registered.
+	GUTI cell.GUTI
+}
+
+// Errors returned by session drivers.
+var (
+	ErrRejected = errors.New("ue: connection rejected by network")
+	ErrStalled  = errors.New("ue: no downlink response")
+)
+
+func (u *UE) pace() {
+	if u.Pace != nil {
+		u.Pace()
+	}
+}
+
+// send transmits an uplink message, duplicating it with the profile's
+// retransmission probability (radio noise).
+func (u *UE) send(link *gnb.Link, m rrc.Message) error {
+	u.pace()
+	if err := link.SendRRC(m); err != nil {
+		return err
+	}
+	if u.rng.Float64() < u.Profile.RetransProb {
+		u.pace()
+		// A duplicate may land after the network released the context
+		// (e.g. a retransmitted deregistration); over the air it is
+		// simply not delivered, so the driver ignores it too.
+		if err := link.SendRRC(m); err != nil && !errors.Is(err, gnb.ErrReleased) {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *UE) sendNAS(link *gnb.Link, m nas.Message) error {
+	return u.send(link, &rrc.ULInformationTransfer{NASPDU: nas.Encode(m)})
+}
+
+// Registered reports whether the UE holds a GUTI from an earlier
+// registration (and can therefore resume with a service request).
+func (u *UE) Registered() bool { return u.guti != nil }
+
+// suci returns the UE's null-scheme SUCI (test networks do not conceal).
+func (u *UE) suci() cell.SUCI {
+	s, err := cell.SUCIFromSUPI(u.SUPI, 0)
+	if err != nil {
+		panic(fmt.Sprintf("ue: invalid SUPI %q", u.SUPI))
+	}
+	return s
+}
+
+// cause draws an establishment cause from the profile.
+func (u *UE) cause() cell.EstablishmentCause {
+	return u.Profile.Causes[u.rng.Intn(len(u.Profile.Causes))]
+}
+
+// RunSession drives one benign session: RRC establishment, registration
+// with 5G-AKA, NAS and AS security, reconfiguration, an idle dwell, and
+// (per profile) deregistration.
+func (u *UE) RunSession(g *gnb.GNB) (SessionResult, error) {
+	link := g.Attach()
+	res := SessionResult{UEID: link.UEID(), RNTI: link.RNTI()}
+
+	// Initial identity: reuse the remembered GUTI when available.
+	var rrcID rrc.UEIdentity
+	var nasID nas.MobileIdentity
+	regType := nas.RegInitial
+	if u.guti != nil {
+		rrcID = rrc.UEIdentity{Kind: rrc.IdentityTMSI, TMSI: u.guti.TMSI}
+		nasID = nas.MobileIdentity{Type: nas.IdentityGUTI, GUTI: *u.guti}
+		regType = nas.RegMobilityUpdate
+	} else {
+		rrcID = rrc.UEIdentity{Kind: rrc.IdentityRandom, Random: u.rng.Uint64() & (1<<39 - 1)}
+		nasID = nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: u.suci()}
+	}
+
+	if err := u.send(link, &rrc.SetupRequest{Identity: rrcID, Cause: u.cause()}); err != nil {
+		return res, err
+	}
+	dl, ok := link.TryRecv()
+	if !ok {
+		return res, ErrStalled
+	}
+	if _, rejected := dl.(*rrc.Reject); rejected {
+		return res, ErrRejected
+	}
+	if _, isSetup := dl.(*rrc.Setup); !isSetup {
+		return res, fmt.Errorf("ue: expected RRCSetup, got %s", dl.Type())
+	}
+
+	regReq := &nas.RegistrationRequest{
+		RegType:    regType,
+		Identity:   nasID,
+		Capability: u.Profile.Capability,
+	}
+	if err := u.send(link, &rrc.SetupComplete{TransactionID: 0, SelectedPLMN: cell.TestPLMN.String(), NASPDU: nas.Encode(regReq)}); err != nil {
+		return res, err
+	}
+
+	// Event loop: answer network procedures until registration settles.
+	for guard := 0; guard < 64; guard++ {
+		dl, ok := link.TryRecv()
+		if !ok {
+			break
+		}
+		done, err := u.handleDownlink(link, dl, &res)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			break
+		}
+	}
+
+	if !res.Registered {
+		return res, fmt.Errorf("ue: registration did not complete")
+	}
+
+	// Idle dwell, then detach per profile.
+	u.pace()
+	if u.Profile.Deregisters {
+		if err := u.sendNAS(link, &nas.DeregistrationRequest{SwitchOff: false}); err != nil {
+			return res, err
+		}
+		// Drain the deregistration accept and release.
+		for {
+			if _, ok := link.TryRecv(); !ok {
+				break
+			}
+		}
+	} else {
+		link.Abandon()
+	}
+	return res, nil
+}
+
+// handleDownlink reacts to one downlink message during registration.
+// It reports done=true once the session has settled.
+func (u *UE) handleDownlink(link *gnb.Link, dl rrc.Message, res *SessionResult) (bool, error) {
+	switch m := dl.(type) {
+	case *rrc.DLInformationTransfer:
+		nasMsg, err := nas.Decode(m.NASPDU)
+		if err != nil {
+			return false, fmt.Errorf("ue: downlink NAS: %w", err)
+		}
+		return u.handleNAS(link, nasMsg, res)
+
+	case *rrc.SecurityModeCommand:
+		if err := u.send(link, &rrc.SecurityModeComplete{TransactionID: m.TransactionID}); err != nil {
+			return false, err
+		}
+
+	case *rrc.Reconfiguration:
+		if err := u.send(link, &rrc.ReconfigurationComplete{TransactionID: m.TransactionID}); err != nil {
+			return false, err
+		}
+		if len(m.NASPDU) > 0 {
+			nasMsg, err := nas.Decode(m.NASPDU)
+			if err != nil {
+				return false, fmt.Errorf("ue: piggybacked NAS: %w", err)
+			}
+			return u.handleNAS(link, nasMsg, res)
+		}
+
+	case *rrc.Release:
+		return true, nil
+	}
+	return false, nil
+}
+
+func (u *UE) handleNAS(link *gnb.Link, nasMsg nas.Message, res *SessionResult) (bool, error) {
+	switch m := nasMsg.(type) {
+	case *nas.AuthenticationRequest:
+		return false, u.sendNAS(link, &nas.AuthenticationResponse{RES: nas.DeriveRES(u.K, m.RAND)})
+
+	case *nas.SecurityModeCommand:
+		return false, u.sendNAS(link, &nas.SecurityModeComplete{})
+
+	case *nas.IdentityRequest:
+		return false, u.sendNAS(link, &nas.IdentityResponse{
+			Identity: nas.MobileIdentity{Type: nas.IdentitySUCI, SUCI: u.suci()},
+		})
+
+	case *nas.RegistrationAccept:
+		res.Registered = true
+		res.GUTI = m.GUTI
+		u.guti = &m.GUTI
+		if u.Profile.SendsRegistrationComplete {
+			return false, u.sendNAS(link, &nas.RegistrationComplete{})
+		}
+
+	case *nas.RegistrationReject:
+		u.guti = nil
+		return true, fmt.Errorf("%w: 5GMM cause %d", ErrRejected, m.Cause)
+
+	case *nas.DeregistrationAccept:
+		return true, nil
+	}
+	return false, nil
+}

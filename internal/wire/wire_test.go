@@ -1,0 +1,278 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		if err := a.Send([]byte("hello")); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("got %q, want %q", got, "hello")
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go a.Send(nil)
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d bytes, want 0", len(got))
+	}
+}
+
+func TestMultipleFramesPreserveBoundaries(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	frames := [][]byte{[]byte("one"), []byte("two-longer"), {0x00}, bytes.Repeat([]byte{0xab}, 1000)}
+	go func() {
+		for _, f := range frames {
+			if err := a.Send(f); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+	for i, want := range frames {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c.Send(append([]byte("echo:"), msg...))
+	}()
+
+	c, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:ping" {
+		t.Errorf("got %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizeSendRejected(t *testing.T) {
+	a, _ := Pipe()
+	defer a.Close()
+	err := a.Send(make([]byte, MaxFrameSize+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestRecvAfterPeerClose(t *testing.T) {
+	a, b := Pipe()
+	a.Close()
+	if _, err := b.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+	b.Close()
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	a.Close()
+	if err := a.Send([]byte("x")); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	const senders, perSender = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := a.Send([]byte(fmt.Sprintf("s%d-m%d", s, i))); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	go func() { wg.Wait(); a.Close() }()
+
+	count := 0
+	for {
+		msg, err := b.Recv()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		// Frame must be intact (no interleaving).
+		var s, i int
+		if _, err := fmt.Sscanf(string(msg), "s%d-m%d", &s, &i); err != nil {
+			t.Fatalf("corrupted frame %q", msg)
+		}
+		count++
+	}
+	if count != senders*perSender {
+		t.Errorf("received %d frames, want %d", count, senders*perSender)
+	}
+}
+
+// Property: any payload under the limit survives a round trip intact.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	f := func(payload []byte) bool {
+		errc := make(chan error, 1)
+		go func() { errc <- a.Send(payload) }()
+		got, err := b.Recv()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServe(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, func(c *Conn) {
+		defer c.Close()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			c.Send(msg)
+		}
+	})
+	defer l.Close()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(l.Addr().String(), time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			want := fmt.Sprintf("client-%d", i)
+			if err := c.Send([]byte(want)); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			got, err := c.Recv()
+			if err != nil || string(got) != want {
+				t.Errorf("echo = %q, %v; want %q", got, err, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPipeSendRecv(b *testing.B) {
+	x, y := Pipe()
+	defer x.Close()
+	defer y.Close()
+	payload := bytes.Repeat([]byte{0x5a}, 256)
+	go func() {
+		for {
+			if _, err := y.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
