@@ -200,6 +200,50 @@ func BenchmarkInference_LSTM(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceScoring measures full-trace window scoring — the batch
+// path cmd/xsec-detect and threshold calibration run — sequentially and
+// through the worker pool. The parallel variant should approach a
+// GOMAXPROCS-factor speedup on multi-core hosts (BENCH_nn.json records
+// the measured ratio per machine).
+func BenchmarkTraceScoring(b *testing.B) {
+	env, err := bench.BuildEnv(benchCfg(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"AE_Sequential", 1},
+		{"AE_Parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := env.Models.ScoreTraceAEParallel(env.Mixed.Trace, bc.workers); len(out) == 0 {
+					b.Fatal("no windows scored")
+				}
+			}
+		})
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"LSTM_Sequential", 1},
+		{"LSTM_Parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := env.Models.ScoreTraceLSTMParallel(env.Mixed.Trace, bc.workers); len(out) == 0 {
+					b.Fatal("no windows scored")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE2Loop_Latency measures the live control-loop latency from
 // attack traffic hitting the gNB to the MobiWatch alert emerging at the
 // RIC — the path that must fit the 10 ms – 1 s near-RT budget (§2.1).

@@ -8,6 +8,7 @@
 //	xsec-bench -figure 4            # one figure (2, 4, 5)
 //	xsec-bench -ablation threshold  # window | threshold | bottleneck
 //	xsec-bench -quick -table 2      # reduced dataset / epochs
+//	xsec-bench -nn                  # NN hot-path baseline → BENCH_nn.json
 package main
 
 import (
@@ -26,12 +27,33 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every artifact")
 		quick    = flag.Bool("quick", false, "use the reduced configuration")
 		seed     = flag.Int64("seed", 1, "experiment seed")
+		nnBench  = flag.Bool("nn", false, "measure the NN hot paths and write the machine-readable baseline")
+		nnOut    = flag.String("out", "BENCH_nn.json", "baseline output path for -nn")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Seed: *seed}
 	if *quick {
 		cfg = bench.Quick(*seed)
+	}
+
+	if *nnBench {
+		res, err := bench.RunNNBench(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err == nil {
+			err = os.WriteFile(*nnOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		fmt.Println("baseline written to", *nnOut)
+		return
 	}
 
 	out, err := run(cfg, *table, *figure, *ablation, *all)

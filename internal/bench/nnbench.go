@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/feature"
+	"github.com/6g-xsec/xsec/internal/nn"
+)
+
+// This file produces the NN performance baseline (BENCH_nn.json): wall-
+// clock micro-measurements of the MobiWatch scoring and training hot
+// paths, emitted machine-readable so future changes can be compared
+// against the committed numbers (`xsec-bench -nn`).
+
+// NNBenchEntry is one measured operation.
+type NNBenchEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops     int     `json:"ops"`
+}
+
+// NNBenchResult is the machine-readable baseline. Speedups compare the
+// worker-pool trace-scoring path against the sequential one on this
+// machine; they approach 1.0 on a single core and scale with GOMAXPROCS.
+type NNBenchResult struct {
+	GoMaxProcs   int            `json:"gomaxprocs"`
+	NumCPU       int            `json:"num_cpu"`
+	TraceWindows int            `json:"trace_windows"`
+	Entries      []NNBenchEntry `json:"entries"`
+	SpeedupAE    float64        `json:"trace_ae_speedup"`
+	SpeedupLSTM  float64        `json:"trace_lstm_speedup"`
+}
+
+// measure times f until at least minTime has elapsed and returns the
+// per-op cost, warming up with one untimed call first.
+func measure(minTime time.Duration, f func()) NNBenchEntry {
+	f()
+	var ops int
+	var elapsed time.Duration
+	batch := 1
+	for elapsed < minTime {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		elapsed += time.Since(start)
+		ops += batch
+		if batch < 1<<20 {
+			batch *= 2
+		}
+	}
+	return NNBenchEntry{NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops), Ops: ops}
+}
+
+// RunNNBench builds the cached experiment environment and measures the
+// NN hot paths.
+func RunNNBench(cfg Config) (*NNBenchResult, error) {
+	env, err := BuildEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	models := env.Models
+	vecs := feature.Vectorize(env.Mixed.Trace, models.Vocab)
+	wins := feature.WindowsAE(vecs, models.Window)
+	winsL, nexts := feature.WindowsLSTM(vecs, models.Window)
+	if len(wins) == 0 || len(winsL) == 0 {
+		return nil, fmt.Errorf("bench: mixed trace produced no windows")
+	}
+
+	res := &NNBenchResult{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		TraceWindows: len(wins),
+	}
+	const minTime = 200 * time.Millisecond
+	add := func(name string, minT time.Duration, f func()) NNBenchEntry {
+		e := measure(minT, f)
+		e.Name = name
+		res.Entries = append(res.Entries, e)
+		return e
+	}
+
+	scratch := models.NewScoreScratch()
+	i := 0
+	add("ae_window_score", minTime, func() {
+		models.ScoreAEWindowWith(scratch, wins[i%len(wins)])
+		i++
+	})
+	j := 0
+	add("lstm_window_score", minTime, func() {
+		models.LSTM.ScoreWith(scratch.LSTM, winsL[j%len(winsL)], nexts[j%len(winsL)])
+		j++
+	})
+
+	aeSeq := add("trace_ae_sequential", minTime, func() {
+		models.ScoreTraceAEParallel(env.Mixed.Trace, 1)
+	})
+	aePar := add("trace_ae_parallel", minTime, func() {
+		models.ScoreTraceAEParallel(env.Mixed.Trace, 0)
+	})
+	lstmSeq := add("trace_lstm_sequential", minTime, func() {
+		models.ScoreTraceLSTMParallel(env.Mixed.Trace, 1)
+	})
+	lstmPar := add("trace_lstm_parallel", minTime, func() {
+		models.ScoreTraceLSTMParallel(env.Mixed.Trace, 0)
+	})
+	res.SpeedupAE = aeSeq.NsPerOp / aePar.NsPerOp
+	res.SpeedupLSTM = lstmSeq.NsPerOp / lstmPar.NsPerOp
+
+	// One training epoch, sequential vs data-parallel, on the benign
+	// window set the models were fitted to.
+	trainWins := feature.WindowsAE(feature.Vectorize(env.Benign, models.Vocab), models.Window)
+	dim := len(trainWins[0])
+	add("ae_train_epoch_sequential", minTime, func() {
+		ae := nn.NewAutoencoder(nn.AEConfig{InputDim: dim, Hidden: []int{64, 16}, Seed: 1})
+		if _, err := ae.Train(trainWins, nn.TrainConfig{Epochs: 1, Seed: 2, Workers: 1}); err != nil {
+			panic(err)
+		}
+	})
+	add("ae_train_epoch_parallel", minTime, func() {
+		ae := nn.NewAutoencoder(nn.AEConfig{InputDim: dim, Hidden: []int{64, 16}, Seed: 1})
+		if _, err := ae.Train(trainWins, nn.TrainConfig{Epochs: 1, Seed: 2}); err != nil {
+			panic(err)
+		}
+	})
+	return res, nil
+}
+
+// JSON renders the baseline for BENCH_nn.json.
+func (r *NNBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the baseline as an aligned table.
+func (r *NNBenchResult) Format() string {
+	rows := make([][]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		rows = append(rows, []string{e.Name, fmt.Sprintf("%.0f", e.NsPerOp), fmt.Sprintf("%d", e.Ops)})
+	}
+	out := fmt.Sprintf("NN hot-path baseline (GOMAXPROCS=%d, %d trace windows)\n\n",
+		r.GoMaxProcs, r.TraceWindows)
+	out += formatTable([]string{"op", "ns/op", "ops"}, rows)
+	out += fmt.Sprintf("\ntrace scoring speedup: AE %.2fx, LSTM %.2fx (parallel vs sequential)\n",
+		r.SpeedupAE, r.SpeedupLSTM)
+	return out
+}

@@ -21,11 +21,22 @@ func PercentileThreshold(scores []float64, pct float64) float64 {
 	if len(scores) == 0 {
 		panic("detect: PercentileThreshold on empty scores")
 	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	return SortedPercentile(sorted, pct)
+}
+
+// SortedPercentile is PercentileThreshold over an already ascending-
+// sorted slice. Callers that need many percentiles of one distribution
+// (threshold calibration derives 101) sort once and query this instead
+// of paying a copy + O(n log n) sort per percentile.
+func SortedPercentile(sorted []float64, pct float64) float64 {
+	if len(sorted) == 0 {
+		panic("detect: SortedPercentile on empty scores")
+	}
 	if pct <= 0 || pct > 100 {
 		panic(fmt.Sprintf("detect: percentile %v out of (0,100]", pct))
 	}
-	sorted := append([]float64(nil), scores...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

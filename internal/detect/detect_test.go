@@ -47,6 +47,38 @@ func TestPercentilePanics(t *testing.T) {
 	}
 }
 
+// TestSortedPercentileMatches verifies the sort-once fast path agrees
+// with PercentileThreshold for every integer percentile — the contract
+// threshold calibration relies on.
+func TestSortedPercentileMatches(t *testing.T) {
+	scores := []float64{4.2, 0.1, 9.9, 3.3, 7.5, 0.2, 5.1, 8.8, 2.4, 6.6, 1.7}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	for p := 1; p <= 100; p++ {
+		want := PercentileThreshold(scores, float64(p))
+		if got := SortedPercentile(sorted, float64(p)); got != want {
+			t.Errorf("pct %d: SortedPercentile = %g, PercentileThreshold = %g", p, got, want)
+		}
+	}
+}
+
+func TestSortedPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SortedPercentile(nil, 99) },
+		func() { SortedPercentile([]float64{1}, 0) },
+		func() { SortedPercentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestPercentileDoesNotMutateInput(t *testing.T) {
 	scores := []float64{5, 1, 3}
 	PercentileThreshold(scores, 99)

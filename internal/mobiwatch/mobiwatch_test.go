@@ -134,7 +134,7 @@ func TestDetectionTable2Shape(t *testing.T) {
 	wins := feature.WindowsAE(vecs, models.Window)
 	trainScores := make([]float64, len(wins))
 	for i, w := range wins {
-		trainScores[i] = aeWindowScore(models.AE, w, models.RecordDim())
+		trainScores[i] = models.ScoreAEWindow(w)
 	}
 	thr93 := detect.PercentileThreshold(trainScores, 93)
 	for i, s := range aeScores {

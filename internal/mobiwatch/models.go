@@ -10,6 +10,10 @@ package mobiwatch
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/6g-xsec/xsec/internal/detect"
 	"github.com/6g-xsec/xsec/internal/feature"
@@ -76,17 +80,21 @@ type Models struct {
 	LSTMQuantiles []float64
 }
 
-// quantiles computes the 0..100 percentile values of scores.
-func quantiles(scores []float64) []float64 {
-	out := make([]float64, 101)
+// calibrate fits a percentile threshold and the 0..100 quantile table
+// from one score distribution, sorting it exactly once (the quantile
+// table alone needs 101 percentile queries).
+func calibrate(scores []float64, pct float64) (threshold float64, quants []float64) {
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	quants = make([]float64, 101)
 	for p := 0; p <= 100; p++ {
-		pct := float64(p)
-		if pct == 0 {
-			pct = 0.001 // PercentileThreshold requires pct > 0
+		q := float64(p)
+		if q == 0 {
+			q = 0.001 // SortedPercentile requires pct > 0
 		}
-		out[p] = detect.PercentileThreshold(scores, pct)
+		quants[p] = detect.SortedPercentile(sorted, q)
 	}
-	return out
+	return detect.SortedPercentile(sorted, pct), quants
 }
 
 // SetPercentile re-fits both detection thresholds at a new percentile of
@@ -129,10 +137,6 @@ func Train(benign mobiflow.Trace, opts TrainOptions) (*Models, error) {
 	if _, err := ae.Train(winAE, nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 16, LR: opts.LR, Seed: opts.Seed + 1}); err != nil {
 		return nil, fmt.Errorf("mobiwatch: training autoencoder: %w", err)
 	}
-	aeScores := make([]float64, len(winAE))
-	for i, w := range winAE {
-		aeScores[i] = aeWindowScore(ae, w, dim)
-	}
 
 	// LSTM next-entry prediction.
 	winL, nexts := feature.WindowsLSTM(vecs, opts.Window)
@@ -140,21 +144,34 @@ func Train(benign mobiflow.Trace, opts TrainOptions) (*Models, error) {
 	if _, err := lstm.TrainNextStep(winL, nexts, nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 16, LR: opts.LR, Seed: opts.Seed + 3}); err != nil {
 		return nil, fmt.Errorf("mobiwatch: training lstm: %w", err)
 	}
-	lstmScores := make([]float64, len(winL))
-	for i := range winL {
-		lstmScores[i] = lstm.Score(winL[i], nexts[i])
-	}
 
-	return &Models{
-		Vocab:         vocab,
-		Window:        opts.Window,
-		AE:            ae,
-		AEThreshold:   detect.PercentileThreshold(aeScores, opts.Percentile),
-		LSTM:          lstm,
-		LSTMThreshold: detect.PercentileThreshold(lstmScores, opts.Percentile),
-		AEQuantiles:   quantiles(aeScores),
-		LSTMQuantiles: quantiles(lstmScores),
-	}, nil
+	m := &Models{
+		Vocab:  vocab,
+		Window: opts.Window,
+		AE:     ae,
+		LSTM:   lstm,
+	}
+	m.CalibrateThresholds(winAE, winL, nexts, opts.Percentile)
+	return m, nil
+}
+
+// CalibrateThresholds re-scores the given benign windows with both
+// models — across a worker pool — and fits the detection thresholds and
+// quantile tables at the given percentile. Train calls it after
+// fitting; callers can re-invoke it to recalibrate a deployed bundle on
+// fresh benign telemetry without retraining.
+func (m *Models) CalibrateThresholds(winAE [][]float64, winL [][][]float64, nexts [][]float64, pct float64) {
+	dim := m.RecordDim()
+	aeScores := make([]float64, len(winAE))
+	m.forEachWindow(len(winAE), 0, func(s *ScoreScratch, i int) {
+		aeScores[i] = aeWindowScoreWith(m.AE, s.AE, winAE[i], dim)
+	})
+	lstmScores := make([]float64, len(winL))
+	m.forEachWindow(len(winL), 0, func(s *ScoreScratch, i int) {
+		lstmScores[i] = m.LSTM.ScoreWith(s.LSTM, winL[i], nexts[i])
+	})
+	m.AEThreshold, m.AEQuantiles = calibrate(aeScores, pct)
+	m.LSTMThreshold, m.LSTMQuantiles = calibrate(lstmScores, pct)
 }
 
 // bundleJSON is the serialized model bundle for the SMO registry.
@@ -242,13 +259,32 @@ type WindowScore struct {
 	Model     ModelName
 }
 
-// aeWindowScore scores one flattened window: the window is reconstructed
-// jointly, and the score is the worst per-record reconstruction MSE. The
-// max-aggregation avoids diluting a single strongly anomalous entry
-// across the whole window (cf. per-timestamp error aggregation in the
-// multivariate anomaly-detection literature the paper builds on).
-func aeWindowScore(ae *nn.Autoencoder, flat []float64, recordDim int) float64 {
-	recon := ae.Reconstruct(flat)
+// ScoreScratch is a per-goroutine workspace for scoring windows against
+// a Models bundle. The bundle itself is read-only after training, so N
+// goroutines can score the same bundle concurrently given N scratches;
+// steady-state scoring through a scratch performs no heap allocation.
+type ScoreScratch struct {
+	AE   *nn.AEScratch
+	LSTM *nn.LSTMScratch
+}
+
+// NewScoreScratch allocates a workspace sized for both detectors.
+func (m *Models) NewScoreScratch() *ScoreScratch {
+	return &ScoreScratch{AE: m.AE.NewScratch(), LSTM: m.LSTM.NewScratch()}
+}
+
+// aeWindowScoreWith scores one flattened window: the window is
+// reconstructed jointly, and the score is the worst per-record
+// reconstruction MSE. The max-aggregation avoids diluting a single
+// strongly anomalous entry across the whole window (cf. per-timestamp
+// error aggregation in the multivariate anomaly-detection literature
+// the paper builds on).
+func aeWindowScoreWith(ae *nn.Autoencoder, s *nn.AEScratch, flat []float64, recordDim int) float64 {
+	return worstRecordMSE(ae.ReconstructWith(s, flat), flat, recordDim)
+}
+
+// worstRecordMSE returns the maximum per-record reconstruction MSE.
+func worstRecordMSE(recon, flat []float64, recordDim int) float64 {
 	worst := 0.0
 	for off := 0; off+recordDim <= len(flat); off += recordDim {
 		var sum float64
@@ -266,32 +302,108 @@ func aeWindowScore(ae *nn.Autoencoder, flat []float64, recordDim int) float64 {
 // RecordDim returns the per-record feature dimension of the bundle.
 func (m *Models) RecordDim() int { return feature.Dim(m.Vocab) }
 
-// ScoreAEWindow scores one flattened window with the autoencoder.
+// ScoreAEWindow scores one flattened window with the autoencoder using
+// the model's default workspace (single-threaded convenience API).
 func (m *Models) ScoreAEWindow(flat []float64) float64 {
-	return aeWindowScore(m.AE, flat, m.RecordDim())
+	return worstRecordMSE(m.AE.Reconstruct(flat), flat, m.RecordDim())
 }
 
-// ScoreTraceAE scores every window of a trace with the autoencoder.
+// ScoreAEWindowWith scores one flattened window through the given
+// workspace; safe to call from many goroutines with distinct scratches.
+func (m *Models) ScoreAEWindowWith(s *ScoreScratch, flat []float64) float64 {
+	return aeWindowScoreWith(m.AE, s.AE, flat, m.RecordDim())
+}
+
+// scoreChunk is how many windows a pool worker claims at a time —
+// coarse enough to amortize the atomic fetch, fine enough to balance
+// tail latency across workers.
+const scoreChunk = 16
+
+// seqScoreCutoff is the window count below which the pool is not worth
+// its goroutine startup cost and scoring stays on the calling goroutine.
+const seqScoreCutoff = 2 * scoreChunk
+
+// forEachWindow invokes fn(scratch, i) for every window index in [0, n),
+// fanning out over a worker pool with one ScoreScratch per worker.
+// workers <= 0 sizes the pool to GOMAXPROCS. Every index is computed
+// independently into its own output slot, so results are identical to a
+// sequential pass regardless of scheduling.
+func (m *Models) forEachWindow(n, workers int, fn func(s *ScoreScratch, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (n+scoreChunk-1)/scoreChunk {
+		workers = (n + scoreChunk - 1) / scoreChunk
+	}
+	if workers <= 1 || n < seqScoreCutoff {
+		s := m.NewScoreScratch()
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := m.NewScoreScratch()
+			for {
+				base := int(next.Add(scoreChunk)) - scoreChunk
+				if base >= n {
+					return
+				}
+				end := base + scoreChunk
+				if end > n {
+					end = n
+				}
+				for i := base; i < end; i++ {
+					fn(s, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ScoreTraceAE scores every window of a trace with the autoencoder,
+// fanning the windows out over a GOMAXPROCS-sized worker pool.
 func (m *Models) ScoreTraceAE(tr mobiflow.Trace) []WindowScore {
+	return m.ScoreTraceAEParallel(tr, 0)
+}
+
+// ScoreTraceAEParallel is ScoreTraceAE with an explicit worker count
+// (0 = GOMAXPROCS, 1 = sequential). Scores are identical for every
+// worker count.
+func (m *Models) ScoreTraceAEParallel(tr mobiflow.Trace, workers int) []WindowScore {
 	vecs := feature.Vectorize(tr, m.Vocab)
 	wins := feature.WindowsAE(vecs, m.Window)
 	dim := m.RecordDim()
 	out := make([]WindowScore, len(wins))
-	for i, w := range wins {
-		s := aeWindowScore(m.AE, w, dim)
-		out[i] = WindowScore{Index: i, Score: s, Threshold: m.AEThreshold, Anomalous: s > m.AEThreshold, Model: ModelAE}
-	}
+	m.forEachWindow(len(wins), workers, func(s *ScoreScratch, i int) {
+		sc := aeWindowScoreWith(m.AE, s.AE, wins[i], dim)
+		out[i] = WindowScore{Index: i, Score: sc, Threshold: m.AEThreshold, Anomalous: sc > m.AEThreshold, Model: ModelAE}
+	})
 	return out
 }
 
-// ScoreTraceLSTM scores every (window, next) pair with the LSTM.
+// ScoreTraceLSTM scores every (window, next) pair with the LSTM,
+// fanning the windows out over a GOMAXPROCS-sized worker pool.
 func (m *Models) ScoreTraceLSTM(tr mobiflow.Trace) []WindowScore {
+	return m.ScoreTraceLSTMParallel(tr, 0)
+}
+
+// ScoreTraceLSTMParallel is ScoreTraceLSTM with an explicit worker
+// count (0 = GOMAXPROCS, 1 = sequential). Scores are identical for
+// every worker count.
+func (m *Models) ScoreTraceLSTMParallel(tr mobiflow.Trace, workers int) []WindowScore {
 	vecs := feature.Vectorize(tr, m.Vocab)
 	wins, nexts := feature.WindowsLSTM(vecs, m.Window)
 	out := make([]WindowScore, len(wins))
-	for i := range wins {
-		s := m.LSTM.Score(wins[i], nexts[i])
-		out[i] = WindowScore{Index: i, Score: s, Threshold: m.LSTMThreshold, Anomalous: s > m.LSTMThreshold, Model: ModelLSTM}
-	}
+	m.forEachWindow(len(wins), workers, func(s *ScoreScratch, i int) {
+		sc := m.LSTM.ScoreWith(s.LSTM, wins[i], nexts[i])
+		out[i] = WindowScore{Index: i, Score: sc, Threshold: m.LSTMThreshold, Anomalous: sc > m.LSTMThreshold, Model: ModelLSTM}
+	})
 	return out
 }

@@ -1,0 +1,118 @@
+package mobiwatch
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/detect"
+	"github.com/6g-xsec/xsec/internal/feature"
+)
+
+// TestScoreTraceParallelMatchesSequential forces multi-worker pools
+// (regardless of GOMAXPROCS) and requires bit-identical scores to the
+// sequential path for both detectors.
+func TestScoreTraceParallelMatchesSequential(t *testing.T) {
+	_, mixed, models := fixtures(t)
+
+	seqAE := models.ScoreTraceAEParallel(mixed.Trace, 1)
+	seqLSTM := models.ScoreTraceLSTMParallel(mixed.Trace, 1)
+	for _, workers := range []int{2, 4, 8} {
+		parAE := models.ScoreTraceAEParallel(mixed.Trace, workers)
+		if len(parAE) != len(seqAE) {
+			t.Fatalf("AE: %d windows with %d workers, want %d", len(parAE), workers, len(seqAE))
+		}
+		for i := range seqAE {
+			if parAE[i] != seqAE[i] {
+				t.Fatalf("AE window %d with %d workers = %+v, sequential %+v", i, workers, parAE[i], seqAE[i])
+			}
+		}
+		parLSTM := models.ScoreTraceLSTMParallel(mixed.Trace, workers)
+		for i := range seqLSTM {
+			if parLSTM[i] != seqLSTM[i] {
+				t.Fatalf("LSTM window %d with %d workers = %+v, sequential %+v", i, workers, parLSTM[i], seqLSTM[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentBundleScoring scores one shared bundle from many
+// goroutines, each with its own ScoreScratch — the xApp fleet shape.
+// Under -race this proves the bundle is read-only during inference.
+func TestConcurrentBundleScoring(t *testing.T) {
+	_, mixed, models := fixtures(t)
+	vecs := feature.Vectorize(mixed.Trace, models.Vocab)
+	wins := feature.WindowsAE(vecs, models.Window)
+	if len(wins) == 0 {
+		t.Fatal("no windows")
+	}
+	want := make([]float64, len(wins))
+	for i, w := range wins {
+		want[i] = models.ScoreAEWindow(w)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := models.NewScoreScratch()
+			for i, w := range wins {
+				if got := models.ScoreAEWindowWith(s, w); got != want[i] {
+					errs <- "concurrent AE score diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestScoreWindowZeroAllocs proves steady-state window scoring through
+// a scratch does not touch the heap.
+func TestScoreWindowZeroAllocs(t *testing.T) {
+	_, mixed, models := fixtures(t)
+	vecs := feature.Vectorize(mixed.Trace, models.Vocab)
+	wins := feature.WindowsAE(vecs, models.Window)
+	winsL, nexts := feature.WindowsLSTM(vecs, models.Window)
+	s := models.NewScoreScratch()
+	if n := testing.AllocsPerRun(100, func() { models.ScoreAEWindowWith(s, wins[0]) }); n != 0 {
+		t.Errorf("ScoreAEWindowWith allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { models.LSTM.ScoreWith(s.LSTM, winsL[0], nexts[0]) }); n != 0 {
+		t.Errorf("LSTM.ScoreWith allocates %v/op, want 0", n)
+	}
+}
+
+// TestCalibrateMatchesPercentileThreshold cross-checks the sort-once
+// calibration against the legacy per-percentile path.
+func TestCalibrateMatchesPercentileThreshold(t *testing.T) {
+	benign, _, models := fixtures(t)
+	vecs := feature.Vectorize(benign, models.Vocab)
+	wins := feature.WindowsAE(vecs, models.Window)
+	scores := make([]float64, len(wins))
+	for i, w := range wins {
+		scores[i] = models.ScoreAEWindow(w)
+	}
+	thr, quants := calibrate(scores, 99)
+	if want := detect.PercentileThreshold(scores, 99); thr != want {
+		t.Errorf("calibrate threshold = %g, PercentileThreshold = %g", thr, want)
+	}
+	if len(quants) != 101 {
+		t.Fatalf("quantile table has %d entries, want 101", len(quants))
+	}
+	for p := 1; p <= 100; p++ {
+		if want := detect.PercentileThreshold(scores, float64(p)); quants[p] != want {
+			t.Errorf("quantile[%d] = %g, PercentileThreshold = %g", p, quants[p], want)
+		}
+	}
+	// Calibration feeds SetPercentile: re-fitting at the stored
+	// percentile must reproduce the fitted threshold.
+	if models.AEThreshold != models.AEQuantiles[99] {
+		t.Errorf("stored AE threshold %g != 99th quantile %g", models.AEThreshold, models.AEQuantiles[99])
+	}
+}

@@ -94,6 +94,8 @@ type Runtime struct {
 	encoder *feature.Encoder
 	recent  mobiflow.Trace // trailing records for window + context
 	vecs    [][]float64    // encoded counterparts of recent
+	scratch *ScoreScratch  // inference workspace (guarded by mu)
+	flat    []float64      // reusable window-flattening buffer
 	done    chan struct{}
 }
 
@@ -119,6 +121,7 @@ func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
 		sub:     sub,
 		alerts:  make(chan Alert, opts.AlertBuffer),
 		encoder: feature.NewEncoder(models.Vocab),
+		scratch: models.NewScoreScratch(),
 		done:    make(chan struct{}),
 	}
 	go rt.loop()
@@ -200,13 +203,16 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 	N := rt.models.Window
 	n := len(rt.vecs)
 
-	// Autoencoder: flatten the last N vectors.
-	flat := make([]float64, 0, N*len(rt.vecs[0]))
+	// Autoencoder: flatten the last N vectors into the reusable buffer,
+	// then score through the runtime's workspace — the streaming hot
+	// path performs no per-window allocation.
+	flat := rt.flat[:0]
 	for _, v := range rt.vecs[n-N:] {
 		flat = append(flat, v...)
 	}
+	rt.flat = flat
 	rt.stats.WindowsScored.Add(1)
-	if s := rt.models.ScoreAEWindow(flat); s > rt.models.AEThreshold {
+	if s := rt.models.ScoreAEWindowWith(rt.scratch, flat); s > rt.models.AEThreshold {
 		rt.raise(nodeID, rt.recent[len(rt.recent)-N:], s, rt.models.AEThreshold, ModelAE)
 	}
 
@@ -215,7 +221,7 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 		window := rt.vecs[n-N-1 : n-1]
 		next := rt.vecs[n-1]
 		rt.stats.WindowsScored.Add(1)
-		if s := rt.models.LSTM.Score(window, next); s > rt.models.LSTMThreshold {
+		if s := rt.models.LSTM.ScoreWith(rt.scratch.LSTM, window, next); s > rt.models.LSTMThreshold {
 			rt.raise(nodeID, rt.recent[len(rt.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
 		}
 	}

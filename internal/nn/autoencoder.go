@@ -9,9 +9,18 @@ import (
 // reconstructs it: Ŝ = f_AE(S). Trained only on benign windows, it
 // reconstructs unseen benign traffic well and attack windows poorly, so
 // the reconstruction MSE is the anomaly score (§3.2 of the paper).
+//
+// A trained autoencoder is read-only: score it from N goroutines by
+// giving each its own AEScratch (see NewScratch / ScoreWith).
 type Autoencoder struct {
 	net      *MLP
 	inputDim int
+}
+
+// AEScratch is a per-goroutine inference/training workspace for one
+// Autoencoder. A scratch must not be used from two goroutines at once.
+type AEScratch struct {
+	net *MLPScratch
 }
 
 // AEConfig configures NewAutoencoder.
@@ -52,8 +61,27 @@ func (a *Autoencoder) Params() []*Param { return a.net.Params() }
 // InputDim returns the expected input dimension.
 func (a *Autoencoder) InputDim() int { return a.inputDim }
 
-// Reconstruct returns the autoencoder's reconstruction of x. The returned
-// slice is owned by the network and overwritten by the next call.
+// NewScratch allocates a workspace sized for this autoencoder.
+func (a *Autoencoder) NewScratch() *AEScratch {
+	return &AEScratch{net: a.net.NewScratch()}
+}
+
+// ReconstructWith returns the reconstruction of x computed through the
+// given workspace. The returned slice is owned by s and overwritten by
+// its next call.
+func (a *Autoencoder) ReconstructWith(s *AEScratch, x []float64) []float64 {
+	return a.net.ForwardWith(s.net, x)
+}
+
+// ScoreWith returns the reconstruction MSE of x computed through the
+// given workspace. After warm-up it performs no heap allocation.
+func (a *Autoencoder) ScoreWith(s *AEScratch, x []float64) float64 {
+	return MSE(a.net.ForwardWith(s.net, x), x, nil)
+}
+
+// Reconstruct returns the autoencoder's reconstruction of x using the
+// default workspace (single-threaded convenience API). The returned
+// slice is overwritten by the next call.
 func (a *Autoencoder) Reconstruct(x []float64) []float64 {
 	return a.net.Forward(x)
 }
@@ -70,6 +98,12 @@ type TrainConfig struct {
 	BatchSize int     // gradient accumulation size; 1 = pure SGD
 	LR        float64 // learning rate (Adam)
 	Seed      int64   // shuffling seed
+	// Workers bounds the data-parallel fan-out per mini-batch
+	// (0 = GOMAXPROCS). The loss curve for a fixed Seed is identical
+	// for every worker count: gradients accumulate into a fixed number
+	// of shards reduced in a fixed order, so scheduling never changes
+	// the arithmetic.
+	Workers int
 	// Verbose receives per-epoch mean loss when non-nil.
 	Verbose func(epoch int, loss float64)
 }
@@ -86,8 +120,18 @@ func (c *TrainConfig) defaults() {
 	}
 }
 
+// aeShard is one gradient shard's private training state.
+type aeShard struct {
+	g       shardGrads
+	scratch *AEScratch
+	grad    []float64 // dLoss/dOutput buffer
+	loss    float64
+}
+
 // Train fits the autoencoder to the benign windows in data and returns the
-// per-epoch mean training loss.
+// per-epoch mean training loss. Mini-batches are fanned out over
+// TrainConfig.Workers goroutines; results are deterministic for a fixed
+// Seed regardless of worker count.
 func (a *Autoencoder) Train(data [][]float64, cfg TrainConfig) ([]float64, error) {
 	cfg.defaults()
 	if len(data) == 0 {
@@ -104,30 +148,55 @@ func (a *Autoencoder) Train(data [][]float64, cfg TrainConfig) ([]float64, error
 	for i := range order {
 		order[i] = i
 	}
-	grad := make([]float64, a.inputDim)
 	losses := make([]float64, 0, cfg.Epochs)
+
+	params := a.Params()
+	workers := cfg.workers()
+	nShards := maxGradShards
+	if cfg.BatchSize < nShards {
+		nShards = cfg.BatchSize
+	}
+	shards := make([]aeShard, nShards)
+	views := make([]shardGrads, nShards)
+	for i := range shards {
+		shards[i] = aeShard{
+			g:       newShardGrads(params),
+			scratch: a.NewScratch(),
+			grad:    make([]float64, a.inputDim),
+		}
+		views[i] = shards[i].g
+	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		ZeroGrads(a)
-		inBatch := 0
-		for _, idx := range order {
-			x := data[idx]
-			out := a.net.Forward(x)
-			epochLoss += MSE(out, x, grad)
-			a.net.Backward(grad)
-			inBatch++
-			if inBatch == cfg.BatchSize {
-				scaleGrads(a.Params(), 1/float64(inBatch))
-				opt.Step(a.Params())
-				ZeroGrads(a)
-				inBatch = 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
 			}
-		}
-		if inBatch > 0 {
-			scaleGrads(a.Params(), 1/float64(inBatch))
-			opt.Step(a.Params())
+			batch := order[start:end]
+			ns := nShards
+			if len(batch) < ns {
+				ns = len(batch)
+			}
+			runShards(ns, workers, func(s int) {
+				sh := &shards[s]
+				sh.loss = 0
+				for pos := s; pos < len(batch); pos += ns {
+					x := data[batch[pos]]
+					out := a.net.ForwardWith(sh.scratch.net, x)
+					sh.loss += MSE(out, x, sh.grad)
+					a.net.backwardInto(sh.scratch.net, sh.g, sh.grad)
+				}
+			})
+			for s := 0; s < ns; s++ {
+				epochLoss += shards[s].loss
+			}
+			reduceGrads(params, views[:ns])
+			scaleGrads(params, 1/float64(len(batch)))
+			opt.Step(params)
 			ZeroGrads(a)
 		}
 		mean := epochLoss / float64(len(data))

@@ -7,6 +7,11 @@ import (
 
 // Dense is a fully connected layer y = σ(Wx + b) with weights stored
 // row-major (W[o*In+i] connects input i to output o).
+//
+// Parameters are written only at construction and by optimizer steps;
+// all forward/backward state lives in a scratch workspace, so a trained
+// layer can be shared by any number of goroutines as long as each uses
+// its own scratch.
 type Dense struct {
 	In, Out int
 	Act     Activation
@@ -14,19 +19,22 @@ type Dense struct {
 	w *Param // len Out*In
 	b *Param // len Out
 
-	// forward caches (per most recent Forward call)
-	lastIn  []float64
-	lastOut []float64
+	def *denseScratch // default workspace backing the convenience API
+}
+
+// denseScratch is the per-goroutine forward/backward state of one layer.
+type denseScratch struct {
+	in     []float64 // input cached by forward
+	out    []float64 // activations cached by forward
+	gradIn []float64 // backward's dLoss/dInput buffer
 }
 
 // NewDense creates a layer with Xavier-initialized weights.
 func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 	d := &Dense{
 		In: in, Out: out, Act: act,
-		w:       &Param{Name: fmt.Sprintf("dense%dx%d.w", out, in), W: make([]float64, out*in), G: make([]float64, out*in)},
-		b:       &Param{Name: fmt.Sprintf("dense%dx%d.b", out, in), W: make([]float64, out), G: make([]float64, out)},
-		lastIn:  make([]float64, in),
-		lastOut: make([]float64, out),
+		w: &Param{Name: fmt.Sprintf("dense%dx%d.w", out, in), W: make([]float64, out*in), G: make([]float64, out*in)},
+		b: &Param{Name: fmt.Sprintf("dense%dx%d.b", out, in), W: make([]float64, out), G: make([]float64, out)},
 	}
 	xavierInit(rng, d.w.W, in, out)
 	return d
@@ -35,49 +43,93 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 // Params implements Model.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
-// Forward computes the layer output, caching activations for Backward.
-// The returned slice is owned by the layer and overwritten on next call.
-func (d *Dense) Forward(x []float64) []float64 {
+func (d *Dense) newScratch() *denseScratch {
+	return &denseScratch{
+		in:     make([]float64, d.In),
+		out:    make([]float64, d.Out),
+		gradIn: make([]float64, d.In),
+	}
+}
+
+func (d *Dense) scratch() *denseScratch {
+	if d.def == nil {
+		d.def = d.newScratch()
+	}
+	return d.def
+}
+
+// forward computes the layer output into s, caching activations for a
+// later backward pass through the same scratch.
+func (d *Dense) forward(s *denseScratch, x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: Dense.Forward input %d, want %d", len(x), d.In))
 	}
-	copy(d.lastIn, x)
+	copy(s.in, x)
 	for o := 0; o < d.Out; o++ {
 		sum := d.b.W[o]
 		row := d.w.W[o*d.In : (o+1)*d.In]
 		for i, xi := range x {
 			sum += row[i] * xi
 		}
-		d.lastOut[o] = d.Act.apply(sum)
+		s.out[o] = d.Act.apply(sum)
 	}
-	return d.lastOut
+	return s.out
 }
 
-// Backward consumes dLoss/dOutput, accumulates parameter gradients, and
-// returns dLoss/dInput. Must follow a Forward call with the matching
-// input. The returned slice is owned by the caller (freshly allocated).
-func (d *Dense) Backward(gradOut []float64) []float64 {
+// backward consumes dLoss/dOutput, accumulates parameter gradients into
+// wG/bG (shaped like d.w.G / d.b.G), and returns dLoss/dInput. The
+// returned slice is owned by s and overwritten by its next backward.
+func (d *Dense) backward(s *denseScratch, wG, bG, gradOut []float64) []float64 {
 	if len(gradOut) != d.Out {
 		panic(fmt.Sprintf("nn: Dense.Backward grad %d, want %d", len(gradOut), d.Out))
 	}
-	gradIn := make([]float64, d.In)
+	gradIn := s.gradIn
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
-		delta := gradOut[o] * d.Act.derivFromOutput(d.lastOut[o])
-		d.b.G[o] += delta
+		delta := gradOut[o] * d.Act.derivFromOutput(s.out[o])
+		bG[o] += delta
 		row := d.w.W[o*d.In : (o+1)*d.In]
-		grow := d.w.G[o*d.In : (o+1)*d.In]
+		grow := wG[o*d.In : (o+1)*d.In]
 		for i := 0; i < d.In; i++ {
-			grow[i] += delta * d.lastIn[i]
+			grow[i] += delta * s.in[i]
 			gradIn[i] += delta * row[i]
 		}
 	}
 	return gradIn
 }
 
-// MLP is a stack of dense layers.
+// Forward computes the layer output using the layer's default scratch —
+// the single-threaded convenience API. The returned slice is overwritten
+// on the next call. For concurrent use, share the layer through an MLP
+// and per-goroutine MLPScratch instead.
+func (d *Dense) Forward(x []float64) []float64 { return d.forward(d.scratch(), x) }
+
+// Backward consumes dLoss/dOutput, accumulates parameter gradients into
+// the layer's Params, and returns dLoss/dInput. Must follow a Forward
+// call with the matching input. The returned slice is owned by the
+// layer's default scratch and overwritten on the next call.
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	return d.backward(d.scratch(), d.w.G, d.b.G, gradOut)
+}
+
+// MLP is a stack of dense layers. Like Dense, a trained MLP is
+// effectively read-only: concurrent goroutines may run ForwardWith /
+// BackwardWith simultaneously as long as each owns its MLPScratch.
 type MLP struct {
 	layers []*Dense
 	params []*Param
+
+	def *MLPScratch // default workspace backing the convenience API
+	pg  [][]float64 // Param.G slices aligned with params, built lazily
+}
+
+// MLPScratch holds the per-goroutine forward/backward state for every
+// layer of one MLP. Create one per goroutine with NewScratch; a scratch
+// must not be used from two goroutines at once.
+type MLPScratch struct {
+	layers []*denseScratch
 }
 
 // NewMLP builds a multilayer perceptron with the given layer sizes
@@ -103,20 +155,66 @@ func (m *MLP) Params() []*Param { return m.params }
 // Layers exposes the layer stack (read-only use).
 func (m *MLP) Layers() []*Dense { return m.layers }
 
-// Forward runs the network. The returned slice is owned by the last layer.
-func (m *MLP) Forward(x []float64) []float64 {
-	for _, l := range m.layers {
-		x = l.Forward(x)
+// NewScratch allocates a workspace sized for this network. One model
+// instance can be driven from N goroutines given N scratches.
+func (m *MLP) NewScratch() *MLPScratch {
+	s := &MLPScratch{layers: make([]*denseScratch, len(m.layers))}
+	for i, l := range m.layers {
+		s.layers[i] = l.newScratch()
+	}
+	return s
+}
+
+func (m *MLP) scratch() *MLPScratch {
+	if m.def == nil {
+		m.def = m.NewScratch()
+	}
+	return m.def
+}
+
+// grads returns the shared Param.G slices aligned with Params().
+func (m *MLP) grads() [][]float64 {
+	if m.pg == nil {
+		m.pg = paramGrads(m.params)
+	}
+	return m.pg
+}
+
+// ForwardWith runs the network through the given workspace. The returned
+// slice is owned by s and overwritten by its next forward.
+func (m *MLP) ForwardWith(s *MLPScratch, x []float64) []float64 {
+	for i, l := range m.layers {
+		x = l.forward(s.layers[i], x)
 	}
 	return x
 }
 
+// backwardInto propagates dLoss/dOutput through the stack using
+// workspace s, accumulating parameter gradients into grads (aligned
+// with Params(), two entries — w then b — per layer), and returns
+// dLoss/dInput.
+func (m *MLP) backwardInto(s *MLPScratch, grads [][]float64, gradOut []float64) []float64 {
+	g := gradOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		g = m.layers[i].backward(s.layers[i], grads[2*i], grads[2*i+1], g)
+	}
+	return g
+}
+
+// BackwardWith propagates gradients through workspace s, accumulating
+// into the shared Params. Concurrent BackwardWith calls on the same
+// model race on Param.G; use per-goroutine gradient buffers (as Train
+// does) when training in parallel.
+func (m *MLP) BackwardWith(s *MLPScratch, gradOut []float64) []float64 {
+	return m.backwardInto(s, m.grads(), gradOut)
+}
+
+// Forward runs the network through the default scratch (single-threaded
+// convenience API). The returned slice is overwritten on the next call.
+func (m *MLP) Forward(x []float64) []float64 { return m.ForwardWith(m.scratch(), x) }
+
 // Backward propagates dLoss/dOutput through the stack, accumulating
 // parameter gradients, and returns dLoss/dInput.
 func (m *MLP) Backward(gradOut []float64) []float64 {
-	g := gradOut
-	for i := len(m.layers) - 1; i >= 0; i-- {
-		g = m.layers[i].Backward(g)
-	}
-	return g
+	return m.backwardInto(m.scratch(), m.grads(), gradOut)
 }

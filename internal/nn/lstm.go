@@ -10,6 +10,9 @@ import (
 // projection head. MobiWatch trains it on benign windows to predict the
 // next telemetry entry, x̂_{i+N} = f_LSTM(x_i ... x_{i+N-1}); the
 // prediction MSE against the actual x_{i+N} is the anomaly score (§3.2).
+//
+// A trained LSTM is read-only: score it from N goroutines by giving
+// each its own LSTMScratch (see NewScratch / ScoreWith).
 type LSTM struct {
 	inDim, hidDim, outDim int
 
@@ -21,9 +24,8 @@ type LSTM struct {
 
 	params []*Param
 
-	// caches for the most recent Sequence forward pass
-	steps []lstmStep
-	yOut  []float64
+	def *LSTMScratch // default workspace backing the convenience API
+	pg  [][]float64  // Param.G slices aligned with params, built lazily
 }
 
 type lstmStep struct {
@@ -31,6 +33,21 @@ type lstmStep struct {
 	i, f, g, o []float64 // post-activation gates
 	c, h       []float64 // cell and hidden state after this step
 	tanhC      []float64
+}
+
+// LSTMScratch is a per-goroutine forward/backward workspace for one
+// LSTM. Step buffers grow to the longest window seen and are then
+// reused, so steady-state scoring performs no heap allocation. A
+// scratch must not be used from two goroutines at once.
+type LSTMScratch struct {
+	steps []lstmStep // grown on demand, buffers reused across calls
+	n     int        // timesteps cached by the last ForwardWith
+	yOut  []float64
+
+	zero []float64 // all-zero initial h/c state; never written
+
+	// backward buffers
+	dh, dhAlt, dc, da []float64
 }
 
 // NewLSTM builds an LSTM with the given input, hidden, and output widths.
@@ -41,12 +58,11 @@ func NewLSTM(seed int64, inDim, hidDim, outDim int) *LSTM {
 	rng := rand.New(rand.NewSource(seed))
 	l := &LSTM{
 		inDim: inDim, hidDim: hidDim, outDim: outDim,
-		wx:   &Param{Name: "lstm.wx", W: make([]float64, 4*hidDim*inDim), G: make([]float64, 4*hidDim*inDim)},
-		wh:   &Param{Name: "lstm.wh", W: make([]float64, 4*hidDim*hidDim), G: make([]float64, 4*hidDim*hidDim)},
-		b:    &Param{Name: "lstm.b", W: make([]float64, 4*hidDim), G: make([]float64, 4*hidDim)},
-		wy:   &Param{Name: "lstm.wy", W: make([]float64, outDim*hidDim), G: make([]float64, outDim*hidDim)},
-		by:   &Param{Name: "lstm.by", W: make([]float64, outDim), G: make([]float64, outDim)},
-		yOut: make([]float64, outDim),
+		wx: &Param{Name: "lstm.wx", W: make([]float64, 4*hidDim*inDim), G: make([]float64, 4*hidDim*inDim)},
+		wh: &Param{Name: "lstm.wh", W: make([]float64, 4*hidDim*hidDim), G: make([]float64, 4*hidDim*hidDim)},
+		b:  &Param{Name: "lstm.b", W: make([]float64, 4*hidDim), G: make([]float64, 4*hidDim)},
+		wy: &Param{Name: "lstm.wy", W: make([]float64, outDim*hidDim), G: make([]float64, outDim*hidDim)},
+		by: &Param{Name: "lstm.by", W: make([]float64, outDim), G: make([]float64, outDim)},
 	}
 	xavierInit(rng, l.wx.W, inDim, hidDim)
 	xavierInit(rng, l.wh.W, hidDim, hidDim)
@@ -65,29 +81,68 @@ func (l *LSTM) Params() []*Param { return l.params }
 // Dims returns (input, hidden, output) widths.
 func (l *LSTM) Dims() (in, hidden, out int) { return l.inDim, l.hidDim, l.outDim }
 
-// Forward runs the network over a window of input vectors and returns the
-// projection of the final hidden state — the next-step prediction. The
-// returned slice is owned by the network.
-func (l *LSTM) Forward(window [][]float64) []float64 {
-	if len(window) == 0 {
-		panic("nn: LSTM.Forward on empty window")
-	}
+// NewScratch allocates a workspace sized for this LSTM. One model
+// instance can be driven from N goroutines given N scratches.
+func (l *LSTM) NewScratch() *LSTMScratch {
 	H := l.hidDim
-	l.steps = l.steps[:0]
-	hPrev := make([]float64, H)
-	cPrev := make([]float64, H)
+	return &LSTMScratch{
+		yOut:  make([]float64, l.outDim),
+		zero:  make([]float64, H),
+		dh:    make([]float64, H),
+		dhAlt: make([]float64, H),
+		dc:    make([]float64, H),
+		da:    make([]float64, 4*H),
+	}
+}
 
-	for _, x := range window {
-		if len(x) != l.inDim {
-			panic(fmt.Sprintf("nn: LSTM input dim %d, want %d", len(x), l.inDim))
-		}
-		st := lstmStep{
-			x: x,
+func (l *LSTM) scratch() *LSTMScratch {
+	if l.def == nil {
+		l.def = l.NewScratch()
+	}
+	return l.def
+}
+
+// grads returns the shared Param.G slices aligned with Params().
+func (l *LSTM) grads() [][]float64 {
+	if l.pg == nil {
+		l.pg = paramGrads(l.params)
+	}
+	return l.pg
+}
+
+// step returns the t-th step cache, growing the workspace if the window
+// is longer than any seen before.
+func (s *LSTMScratch) step(t, H int) *lstmStep {
+	for len(s.steps) <= t {
+		s.steps = append(s.steps, lstmStep{
 			i: make([]float64, H), f: make([]float64, H),
 			g: make([]float64, H), o: make([]float64, H),
 			c: make([]float64, H), h: make([]float64, H),
 			tanhC: make([]float64, H),
+		})
+	}
+	return &s.steps[t]
+}
+
+// ForwardWith runs the network over a window of input vectors through
+// the given workspace and returns the projection of the final hidden
+// state — the next-step prediction. The returned slice is owned by s
+// and overwritten by its next call. After warm-up the pass performs no
+// heap allocation.
+func (l *LSTM) ForwardWith(s *LSTMScratch, window [][]float64) []float64 {
+	if len(window) == 0 {
+		panic("nn: LSTM.Forward on empty window")
+	}
+	H := l.hidDim
+	s.n = len(window)
+	hPrev, cPrev := s.zero, s.zero
+
+	for t, x := range window {
+		if len(x) != l.inDim {
+			panic(fmt.Sprintf("nn: LSTM input dim %d, want %d", len(x), l.inDim))
 		}
+		st := s.step(t, H)
+		st.x = x
 		for h := 0; h < H; h++ {
 			// Pre-activations for the four gates of unit h.
 			var pre [4]float64
@@ -112,7 +167,6 @@ func (l *LSTM) Forward(window [][]float64) []float64 {
 			st.tanhC[h] = math.Tanh(st.c[h])
 			st.h[h] = st.o[h] * st.tanhC[h]
 		}
-		l.steps = append(l.steps, st)
 		hPrev, cPrev = st.h, st.c
 	}
 
@@ -122,46 +176,59 @@ func (l *LSTM) Forward(window [][]float64) []float64 {
 		for k, hk := range hPrev {
 			sum += row[k] * hk
 		}
-		l.yOut[o] = sum
+		s.yOut[o] = sum
 	}
-	return l.yOut
+	return s.yOut
 }
 
-// Backward performs truncated BPTT over the cached window, accumulating
-// parameter gradients from dLoss/dOutput.
-func (l *LSTM) Backward(gradOut []float64) {
+// Forward runs the network through the default scratch (single-threaded
+// convenience API). The returned slice is overwritten by the next call.
+func (l *LSTM) Forward(window [][]float64) []float64 {
+	return l.ForwardWith(l.scratch(), window)
+}
+
+// backwardInto performs truncated BPTT over the window cached in s,
+// accumulating parameter gradients from dLoss/dOutput into grads
+// (aligned with Params(): wx, wh, b, wy, by).
+func (l *LSTM) backwardInto(s *LSTMScratch, grads [][]float64, gradOut []float64) {
 	if len(gradOut) != l.outDim {
 		panic(fmt.Sprintf("nn: LSTM.Backward grad dim %d, want %d", len(gradOut), l.outDim))
 	}
-	if len(l.steps) == 0 {
+	if s.n == 0 {
 		panic("nn: LSTM.Backward before Forward")
 	}
 	H := l.hidDim
-	T := len(l.steps)
+	T := s.n
+	wxG, whG, bG, wyG, byG := grads[0], grads[1], grads[2], grads[3], grads[4]
 
 	// Projection head.
-	last := l.steps[T-1]
-	dh := make([]float64, H)
+	last := &s.steps[T-1]
+	dh := s.dh
+	for k := range dh {
+		dh[k] = 0
+	}
 	for o := 0; o < l.outDim; o++ {
 		g := gradOut[o]
-		l.by.G[o] += g
+		byG[o] += g
 		row := l.wy.W[o*H : (o+1)*H]
-		grow := l.wy.G[o*H : (o+1)*H]
+		grow := wyG[o*H : (o+1)*H]
 		for k := 0; k < H; k++ {
 			grow[k] += g * last.h[k]
 			dh[k] += g * row[k]
 		}
 	}
 
-	dc := make([]float64, H)
-	da := make([]float64, 4*H) // pre-activation gate grads for one step
+	dc := s.dc
+	for k := range dc {
+		dc[k] = 0
+	}
+	da := s.da // pre-activation gate grads for one step
+	dhPrev := s.dhAlt
 	for t := T - 1; t >= 0; t-- {
-		st := l.steps[t]
-		var cPrev, hPrev []float64
+		st := &s.steps[t]
+		cPrev, hPrev := s.zero, s.zero
 		if t > 0 {
-			cPrev, hPrev = l.steps[t-1].c, l.steps[t-1].h
-		} else {
-			cPrev, hPrev = make([]float64, H), make([]float64, H)
+			cPrev, hPrev = s.steps[t-1].c, s.steps[t-1].h
 		}
 		for h := 0; h < H; h++ {
 			do := dh[h] * st.tanhC[h]
@@ -177,29 +244,51 @@ func (l *LSTM) Backward(gradOut []float64) {
 			da[3*H+h] = do * st.o[h] * (1 - st.o[h])
 		}
 		// Accumulate parameter grads and propagate dh_{t-1}.
-		dhPrev := make([]float64, H)
+		for k := range dhPrev {
+			dhPrev[k] = 0
+		}
 		for row := 0; row < 4*H; row++ {
 			a := da[row]
 			if a == 0 {
 				continue
 			}
-			l.b.G[row] += a
-			wxRow := l.wx.G[row*l.inDim : (row+1)*l.inDim]
+			bG[row] += a
+			wxRow := wxG[row*l.inDim : (row+1)*l.inDim]
 			for k, xk := range st.x {
 				wxRow[k] += a * xk
 			}
 			whW := l.wh.W[row*H : (row+1)*H]
-			whG := l.wh.G[row*H : (row+1)*H]
+			whRow := whG[row*H : (row+1)*H]
 			for k := 0; k < H; k++ {
-				whG[k] += a * hPrev[k]
+				whRow[k] += a * hPrev[k]
 				dhPrev[k] += a * whW[k]
 			}
 		}
-		dh = dhPrev
+		dh, dhPrev = dhPrev, dh
 	}
 }
 
+// BackwardWith performs truncated BPTT through workspace s, accumulating
+// into the shared Params. Concurrent BackwardWith calls on the same
+// model race on Param.G; use per-goroutine gradient buffers (as
+// TrainNextStep does) when training in parallel.
+func (l *LSTM) BackwardWith(s *LSTMScratch, gradOut []float64) {
+	l.backwardInto(s, l.grads(), gradOut)
+}
+
+// Backward performs truncated BPTT over the window cached by the last
+// Forward call, accumulating parameter gradients from dLoss/dOutput.
+func (l *LSTM) Backward(gradOut []float64) {
+	l.backwardInto(l.scratch(), l.grads(), gradOut)
+}
+
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// ScoreWith returns the next-step prediction MSE computed through the
+// given workspace. After warm-up it performs no heap allocation.
+func (l *LSTM) ScoreWith(s *LSTMScratch, window [][]float64, next []float64) float64 {
+	return MSE(l.ForwardWith(s, window), next, nil)
+}
 
 // Score returns the next-step prediction MSE for a window and the actual
 // next entry — the LSTM anomaly score used by MobiWatch.
@@ -207,8 +296,18 @@ func (l *LSTM) Score(window [][]float64, next []float64) float64 {
 	return MSE(l.Forward(window), next, nil)
 }
 
+// lstmShard is one gradient shard's private training state.
+type lstmShard struct {
+	g       shardGrads
+	scratch *LSTMScratch
+	grad    []float64 // dLoss/dOutput buffer
+	loss    float64
+}
+
 // TrainNextStep fits the LSTM on (window, next) pairs and returns
-// per-epoch mean loss.
+// per-epoch mean loss. Mini-batches are fanned out over
+// TrainConfig.Workers goroutines; results are deterministic for a fixed
+// Seed regardless of worker count.
 func (l *LSTM) TrainNextStep(windows [][][]float64, nexts [][]float64, cfg TrainConfig) ([]float64, error) {
 	cfg.defaults()
 	if len(windows) == 0 || len(windows) != len(nexts) {
@@ -220,29 +319,53 @@ func (l *LSTM) TrainNextStep(windows [][][]float64, nexts [][]float64, cfg Train
 	for i := range order {
 		order[i] = i
 	}
-	grad := make([]float64, l.outDim)
 	losses := make([]float64, 0, cfg.Epochs)
+
+	workers := cfg.workers()
+	nShards := maxGradShards
+	if cfg.BatchSize < nShards {
+		nShards = cfg.BatchSize
+	}
+	shards := make([]lstmShard, nShards)
+	views := make([]shardGrads, nShards)
+	for i := range shards {
+		shards[i] = lstmShard{
+			g:       newShardGrads(l.params),
+			scratch: l.NewScratch(),
+			grad:    make([]float64, l.outDim),
+		}
+		views[i] = shards[i].g
+	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		ZeroGrads(l)
-		inBatch := 0
-		for _, idx := range order {
-			out := l.Forward(windows[idx])
-			epochLoss += MSE(out, nexts[idx], grad)
-			l.Backward(grad)
-			inBatch++
-			if inBatch == cfg.BatchSize {
-				scaleGrads(l.params, 1/float64(inBatch))
-				clipGrads(l.params, 5)
-				opt.Step(l.params)
-				ZeroGrads(l)
-				inBatch = 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
 			}
-		}
-		if inBatch > 0 {
-			scaleGrads(l.params, 1/float64(inBatch))
+			batch := order[start:end]
+			ns := nShards
+			if len(batch) < ns {
+				ns = len(batch)
+			}
+			runShards(ns, workers, func(s int) {
+				sh := &shards[s]
+				sh.loss = 0
+				for pos := s; pos < len(batch); pos += ns {
+					idx := batch[pos]
+					out := l.ForwardWith(sh.scratch, windows[idx])
+					sh.loss += MSE(out, nexts[idx], sh.grad)
+					l.backwardInto(sh.scratch, sh.g, sh.grad)
+				}
+			})
+			for s := 0; s < ns; s++ {
+				epochLoss += shards[s].loss
+			}
+			reduceGrads(l.params, views[:ns])
+			scaleGrads(l.params, 1/float64(len(batch)))
 			clipGrads(l.params, 5)
 			opt.Step(l.params)
 			ZeroGrads(l)

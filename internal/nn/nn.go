@@ -14,6 +14,16 @@
 // can run inside an xApp within the near-RT control loop (10 ms–1 s);
 // window-sized inputs and one or two hidden layers. This library targets
 // exactly that scale and favors clarity and determinism over SIMD tricks.
+//
+// Concurrency model: layer structs hold only parameters; all forward and
+// backward state lives in explicit per-goroutine workspaces (MLPScratch,
+// AEScratch, LSTMScratch) created by the models' NewScratch methods. A
+// trained model is therefore read-only and can be scored from any number
+// of goroutines at once, allocation-free in steady state. The plain
+// Forward/Backward/Score methods remain as single-threaded convenience
+// wrappers over a per-model default scratch. Training fans mini-batches
+// out over worker goroutines while keeping loss curves bit-for-bit
+// reproducible for a fixed seed (see parallel.go).
 package nn
 
 import (

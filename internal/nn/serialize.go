@@ -58,10 +58,8 @@ func LoadAutoencoder(data []byte) (*Autoencoder, error) {
 		}
 		d := &Dense{
 			In: ls.In, Out: ls.Out, Act: ls.Act,
-			w:       &Param{Name: fmt.Sprintf("dense%dx%d.w", ls.Out, ls.In), W: append([]float64(nil), ls.W...), G: make([]float64, len(ls.W))},
-			b:       &Param{Name: fmt.Sprintf("dense%dx%d.b", ls.Out, ls.In), W: append([]float64(nil), ls.B...), G: make([]float64, len(ls.B))},
-			lastIn:  make([]float64, ls.In),
-			lastOut: make([]float64, ls.Out),
+			w: &Param{Name: fmt.Sprintf("dense%dx%d.w", ls.Out, ls.In), W: append([]float64(nil), ls.W...), G: make([]float64, len(ls.W))},
+			b: &Param{Name: fmt.Sprintf("dense%dx%d.b", ls.Out, ls.In), W: append([]float64(nil), ls.B...), G: make([]float64, len(ls.B))},
 		}
 		m.layers = append(m.layers, d)
 		m.params = append(m.params, d.Params()...)

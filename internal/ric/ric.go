@@ -218,7 +218,7 @@ func (p *Platform) detachNode(nodeID string) {
 		node.ep.Close()
 	}
 	for _, sub := range gone {
-		sub.closeOnce.Do(func() { close(sub.ch) })
+		sub.closeCh()
 	}
 }
 
@@ -242,10 +242,9 @@ func (p *Platform) route(node *nodeConn, msg *e2ap.Message) {
 			Message:    msg.IndicationMessage,
 			ReceivedAt: p.clock(),
 		}
-		select {
-		case sub.ch <- ind:
+		if sub.deliver(ind) {
 			p.metrics.IndicationsRouted.Add(1)
-		default:
+		} else {
 			p.metrics.IndicationsDropped.Add(1)
 		}
 	case e2ap.TypeSubscriptionResponse, e2ap.TypeSubscriptionFailure,

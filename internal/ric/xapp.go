@@ -52,12 +52,44 @@ type Subscription struct {
 	fnID   uint16
 	xapp   *XApp
 
-	ch        chan Indication
-	closeOnce sync.Once
+	// sendMu serializes deliveries against channel close: the router
+	// may be mid-send on another goroutine when Delete or a node detach
+	// closes the stream. Sends are non-blocking, so the lock is never
+	// held across a wait.
+	sendMu sync.Mutex
+	closed bool
+	ch     chan Indication
 }
 
 // C is the indication stream.
 func (s *Subscription) C() <-chan Indication { return s.ch }
+
+// deliver attempts a non-blocking send; it reports false when the
+// buffer is full or the subscription is already closed.
+func (s *Subscription) deliver(ind Indication) bool {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.ch <- ind:
+		return true
+	default:
+		return false
+	}
+}
+
+// closeCh closes the indication stream exactly once, excluding any
+// in-flight deliver.
+func (s *Subscription) closeCh() {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
 
 // NodeID reports which E2 node the subscription is bound to.
 func (s *Subscription) NodeID() string { return s.nodeID }
@@ -143,7 +175,7 @@ func (s *Subscription) Delete() error {
 	p.mu.Lock()
 	delete(p.subs, s.ID)
 	p.mu.Unlock()
-	s.closeOnce.Do(func() { close(s.ch) })
+	s.closeCh()
 
 	resp, err := p.request(s.nodeID, &e2ap.Message{
 		Type:          e2ap.TypeSubscriptionDeleteRequest,
