@@ -9,6 +9,7 @@
 //	xsec-bench -ablation threshold  # window | threshold | bottleneck
 //	xsec-bench -quick -table 2      # reduced dataset / epochs
 //	xsec-bench -nn                  # NN hot-path baseline → BENCH_nn.json
+//	xsec-bench -obs                 # live-pipeline metrics baseline → BENCH_obs.json
 package main
 
 import (
@@ -28,7 +29,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the reduced configuration")
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		nnBench  = flag.Bool("nn", false, "measure the NN hot paths and write the machine-readable baseline")
-		nnOut    = flag.String("out", "BENCH_nn.json", "baseline output path for -nn")
+		obsBench = flag.Bool("obs", false, "run the live pipeline and snapshot the observability registry")
+		outPath  = flag.String("out", "", "baseline output path (default BENCH_nn.json for -nn, BENCH_obs.json for -obs)")
 	)
 	flag.Parse()
 
@@ -37,22 +39,46 @@ func main() {
 		cfg = bench.Quick(*seed)
 	}
 
+	// writeBaseline persists a machine-readable baseline next to the
+	// human-readable table.
+	writeBaseline := func(table string, data []byte, err error, path string) {
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Println("baseline written to", path)
+	}
+
 	if *nnBench {
 		res, err := bench.RunNNBench(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
 			os.Exit(1)
 		}
-		data, err := res.JSON()
-		if err == nil {
-			err = os.WriteFile(*nnOut, append(data, '\n'), 0o644)
+		out := *outPath
+		if out == "" {
+			out = "BENCH_nn.json"
 		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
+		return
+	}
+	if *obsBench {
+		res, err := bench.RunObsBench(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Println(res.Format())
-		fmt.Println("baseline written to", *nnOut)
+		out := *outPath
+		if out == "" {
+			out = "BENCH_obs.json"
+		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
 		return
 	}
 

@@ -19,26 +19,38 @@ import (
 
 	"github.com/6g-xsec/xsec/internal/core"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/ue"
 )
 
 func main() {
 	var (
-		attack   = flag.String("attack", "all", "attack to launch: bts-dos | blind-dos | uplink-id | downlink-id | null-cipher | all")
-		auto     = flag.Bool("auto", false, "apply recommended E2 control actions automatically")
-		model    = flag.String("model", "chatgpt-4o", "LLM analyst personality")
-		sessions = flag.Int("sessions", 60, "benign training sessions")
-		epochs   = flag.Int("epochs", 25, "training epochs")
-		seed     = flag.Int64("seed", 4, "seed")
+		attack      = flag.String("attack", "all", "attack to launch: bts-dos | blind-dos | uplink-id | downlink-id | null-cipher | all")
+		auto        = flag.Bool("auto", false, "apply recommended E2 control actions automatically")
+		model       = flag.String("model", "chatgpt-4o", "LLM analyst personality")
+		sessions    = flag.Int("sessions", 60, "benign training sessions")
+		epochs      = flag.Int("epochs", 25, "training epochs")
+		seed        = flag.Int64("seed", 4, "seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. :9090)")
+		logLevel    = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level: debug | info | warn | error")
 	)
 	flag.Parse()
-	if err := run(*attack, *auto, *model, *sessions, *epochs, *seed); err != nil {
+	if *logLevel != "" {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-testbed:", err)
+			os.Exit(2)
+		}
+		obs.SetLogOutput(os.Stderr)
+		obs.SetLogLevel(lv)
+	}
+	if err := run(*attack, *auto, *model, *sessions, *epochs, *seed, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "xsec-testbed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(attack string, auto bool, model string, sessions, epochs int, seed int64) error {
+func run(attack string, auto bool, model string, sessions, epochs int, seed int64, metricsAddr string) error {
 	fmt.Println("=== 6G-XSec testbed ===")
 	fw, err := core.New(core.Options{
 		Seed:         seed,
@@ -46,6 +58,7 @@ func run(attack string, auto bool, model string, sessions, epochs int, seed int6
 		TrainOpts:    mobiwatch.TrainOptions{Epochs: epochs, Seed: seed},
 		LLMModel:     model,
 		AutoRespond:  auto,
+		MetricsAddr:  metricsAddr,
 	})
 	if err != nil {
 		return err
@@ -53,6 +66,9 @@ func run(attack string, auto bool, model string, sessions, epochs int, seed int6
 	defer fw.Close()
 	fmt.Printf("RIC up; gNB %q connected over E2; expert service at %s\n",
 		fw.Opts.NodeID, fw.LLMBaseURL())
+	if addr := fw.MetricsAddr(); addr != "" {
+		fmt.Printf("observability: http://%s/metrics (Prometheus text), /traces, /debug/pprof\n", addr)
+	}
 
 	fmt.Printf("collecting %d benign sessions for training...\n", sessions)
 	benign, err := fw.CollectBenign(sessions)

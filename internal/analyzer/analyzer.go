@@ -19,7 +19,23 @@ import (
 	"github.com/6g-xsec/xsec/internal/llm"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// Analyzer observability. xsec_detect_latency_seconds is the paper's
+// headline pipeline number: first malicious telemetry arriving at the
+// RIC (the indication that completed the flagged window) to the LLM
+// verdict landing, measured per processed case.
+var (
+	obsCases = obs.NewCounterVec("xsec_analyzer_cases_total",
+		"Processed cases, by outcome.", "outcome")
+	obsCaseAgree    = obsCases.With("agreement")
+	obsCaseDisagree = obsCases.With("disagreement")
+	obsCaseFailure  = obsCases.With("llm_failure")
+	obsDetectLat    = obs.NewHistogram("xsec_detect_latency_seconds",
+		"End-to-end detection latency: E2 indication arrival at the RIC to LLM verdict.",
+		obs.DefLatencyBuckets)
 )
 
 // Case is one fully processed incident.
@@ -67,6 +83,13 @@ func (a *Analyzer) Stats() *Stats { return &a.stats }
 
 // Process runs expert referencing for one alert.
 func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
+	span := obs.StartSpan(obs.IndicationKey(alert.NodeID, alert.IndicationSN), "analyzer.process")
+	defer span.End()
+	if !alert.ReceivedAt.IsZero() {
+		defer func() {
+			obsDetectLat.Observe(a.clock().Sub(alert.ReceivedAt).Seconds())
+		}()
+	}
 	c := &Case{Alert: alert, ProcessedAt: a.clock()}
 	window := alert.Context
 	if len(window) == 0 {
@@ -78,6 +101,8 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 		// The LLM is unreachable or hallucinated an unparseable answer:
 		// the detector's verdict stands, but a human must review.
 		a.stats.Failures.Add(1)
+		obsCaseFailure.Inc()
+		obs.L().Warn("analyzer: LLM unusable, case escalated", "node", alert.NodeID, "err", err)
 		c.NeedsHuman = true
 		a.enqueueHuman(c, fmt.Sprintf("llm failure: %v", err))
 		return c, nil
@@ -86,11 +111,13 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 	c.Agree = analysis.Verdict == llm.VerdictAnomalous
 	if c.Agree {
 		a.stats.Agreements.Add(1)
+		obsCaseAgree.Inc()
 		c.Control = RecommendControl(analysis, window)
 	} else {
 		// MobiWatch flagged the window; the LLM disagrees. §3.3: human
 		// supervision is required for contradictory results.
 		a.stats.Disagrees.Add(1)
+		obsCaseDisagree.Inc()
 		c.NeedsHuman = true
 		a.enqueueHuman(c, "detector/LLM disagreement")
 	}

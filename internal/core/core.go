@@ -32,6 +32,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/ric"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/smo"
@@ -61,6 +62,11 @@ type Options struct {
 	AutoRespond bool
 	// CaseBuffer bounds the processed-case stream (default 128).
 	CaseBuffer int
+	// MetricsAddr, when non-empty, serves the observability endpoint
+	// (/metrics Prometheus text, /traces, /debug/pprof) on this
+	// address, e.g. ":9090". Use "127.0.0.1:0" to pick a free port;
+	// MetricsAddr() reports the bound address.
+	MetricsAddr string
 }
 
 func (o *Options) defaults() {
@@ -104,6 +110,9 @@ type Framework struct {
 	llmShutdown func() error
 	a1Cancel    func()
 
+	obsAddr     string
+	obsShutdown func() error
+
 	cases        chan *analyzer.Case
 	casesDropped atomic.Uint64
 	controlsSent atomic.Uint64
@@ -143,6 +152,19 @@ func New(opts Options) (*Framework, error) {
 		clock:    clock,
 	}
 
+	if opts.MetricsAddr != "" {
+		addr, shutdown, err := obs.ListenAndServe(opts.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: starting metrics endpoint: %w", err)
+		}
+		fw.obsAddr = addr
+		fw.obsShutdown = shutdown
+	}
+	// Sampled at scrape time; re-registered per framework so the last
+	// deployment wins.
+	obs.NewGaugeFunc("xsec_core_case_queue_depth",
+		"Processed cases waiting to be consumed.", func() float64 { return float64(len(fw.cases)) })
+
 	if opts.LLMBaseURL == "" {
 		srv := llm.NewServer()
 		addr, shutdown, err := srv.Listen("127.0.0.1:0")
@@ -168,6 +190,10 @@ func New(opts Options) (*Framework, error) {
 
 // Clock returns the data plane's virtual clock.
 func (f *Framework) Clock() *dataset.VClock { return f.clock }
+
+// MetricsAddr reports the bound observability address ("" when
+// Options.MetricsAddr was unset).
+func (f *Framework) MetricsAddr() string { return f.obsAddr }
 
 // LLMBaseURL reports the expert endpoint in use.
 func (f *Framework) LLMBaseURL() string { return f.llmAddr }
@@ -307,6 +333,9 @@ func (f *Framework) pump() {
 		case f.cases <- c:
 		default:
 			f.casesDropped.Add(1)
+			obsCasesDropped.Inc()
+			obs.L().Warn("core: case stream full, processed case dropped",
+				"node", c.Alert.NodeID, "model", string(c.Alert.Model))
 		}
 	}
 }
@@ -353,4 +382,11 @@ func (f *Framework) Close() {
 	if f.llmShutdown != nil {
 		f.llmShutdown()
 	}
+	if f.obsShutdown != nil {
+		f.obsShutdown()
+	}
 }
+
+// obsCasesDropped counts processed cases lost to a full case stream.
+var obsCasesDropped = obs.NewCounter("xsec_core_cases_dropped_total",
+	"Processed cases dropped because the case stream was full.")

@@ -4,8 +4,30 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/wire"
 )
+
+// Per-direction, per-procedure transport counters. The series handles
+// are interned once per message type at init so the Send/Recv hot
+// paths pay a single atomic add each.
+var (
+	e2apMessages = obs.NewCounterVec("xsec_e2ap_messages_total",
+		"E2AP messages crossing endpoints, by direction and procedure.", "dir", "type")
+	e2apErrors = obs.NewCounterVec("xsec_e2ap_errors_total",
+		"E2AP transport failures, by direction.", "dir")
+
+	txByType, rxByType [typeCount]*obs.Counter
+	txErrors           = e2apErrors.With("tx")
+	rxErrors           = e2apErrors.With("rx")
+)
+
+func init() {
+	for t := TypeInvalid; t < typeCount; t++ {
+		txByType[t] = e2apMessages.With("tx", t.String())
+		rxByType[t] = e2apMessages.With("rx", t.String())
+	}
+}
 
 // Endpoint sends and receives E2AP messages over a framed connection. It
 // is used by both sides of the E2 interface: the gNB's RIC agent and the
@@ -27,7 +49,11 @@ func (ep *Endpoint) Send(m *Message) error {
 		m.TransactionID = ep.nextTxn.Add(1)
 	}
 	if err := ep.conn.Send(Encode(m)); err != nil {
+		txErrors.Inc()
 		return fmt.Errorf("e2ap: sending %s: %w", m.Type, err)
+	}
+	if m.Type < typeCount {
+		txByType[m.Type].Inc()
 	}
 	return nil
 }
@@ -40,7 +66,11 @@ func (ep *Endpoint) Recv() (*Message, error) {
 	}
 	m, err := Decode(data)
 	if err != nil {
+		rxErrors.Inc()
 		return nil, fmt.Errorf("e2ap: receiving: %w", err)
+	}
+	if m.Type < typeCount {
+		rxByType[m.Type].Inc()
 	}
 	return m, nil
 }

@@ -10,6 +10,15 @@ import (
 	"github.com/6g-xsec/xsec/internal/asn1lite"
 	"github.com/6g-xsec/xsec/internal/e2ap"
 	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/obs"
+)
+
+// Telemetry-emission counters, labeled by reporting node.
+var (
+	obsRecords = obs.NewCounterVec("xsec_gnb_mobiflow_records_total",
+		"MOBIFLOW telemetry records shipped over E2, by node.", "node")
+	obsIndicationsSent = obs.NewCounterVec("xsec_gnb_indications_sent_total",
+		"RIC indications emitted by the gNB agent, by node.", "node")
 )
 
 // ServeE2 runs the gNB's RIC agent over an E2 connection: it performs the
@@ -123,12 +132,15 @@ func (a *e2Agent) subscribe(msg *e2ap.Message) {
 func (a *e2Agent) report(reqID e2ap.RequestID, actionID uint16, period time.Duration, stop chan struct{}) {
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
+	records := obsRecords.With(a.g.cfg.NodeID)
+	indications := obsIndicationsSent.With(a.g.cfg.NodeID)
 	var batchSeq uint64
 	for {
 		select {
 		case <-stop:
 			return
 		case <-ticker.C:
+			reportStart := time.Now()
 			tr := a.g.DrainRecords()
 			if len(tr) == 0 {
 				continue
@@ -151,6 +163,10 @@ func (a *e2Agent) report(reqID e2ap.RequestID, actionID uint16, period time.Dura
 			if err != nil {
 				return
 			}
+			records.Add(uint64(len(tr)))
+			indications.Inc()
+			obs.RecordSpan(obs.IndicationKey(a.g.cfg.NodeID, batchSeq),
+				"gnb.report", reportStart, time.Now())
 		}
 	}
 }

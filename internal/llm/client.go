@@ -10,6 +10,21 @@ import (
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/obs"
+)
+
+// LLM client observability: round-trip latency, request outcomes per
+// model, approximate prompt volume, and the verdict distribution.
+var (
+	obsRequests = obs.NewCounterVec("xsec_llm_requests_total",
+		"LLM REST queries, by model and outcome.", "model", "outcome")
+	obsReqSeconds = obs.NewHistogram("xsec_llm_request_seconds",
+		"LLM REST round-trip latency, including response parsing.",
+		obs.ExpBuckets(1e-4, 2, 16))
+	obsPromptTokens = obs.NewCounter("xsec_llm_prompt_tokens_total",
+		"Approximate prompt tokens submitted (chars/4 heuristic).")
+	obsVerdicts = obs.NewCounterVec("xsec_llm_verdicts_total",
+		"Parsed verdicts returned by the LLM.", "verdict")
 )
 
 // Client queries a model endpoint over REST (§3.3: "accesses the LLMs
@@ -59,6 +74,10 @@ func (c *Client) AnalyzeWindow(window mobiflow.Trace) (*Analysis, error) {
 
 // AnalyzePromptText sends an already-rendered prompt.
 func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
+	start := time.Now()
+	defer func() { obsReqSeconds.ObserveSeconds(time.Since(start).Nanoseconds()) }()
+	obsPromptTokens.Add(uint64(len(prompt)+3) / 4)
+
 	body, err := json.Marshal(ChatRequest{Model: c.Model, Prompt: prompt})
 	if err != nil {
 		return nil, fmt.Errorf("llm: encoding request: %w", err)
@@ -69,23 +88,31 @@ func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
 	}
 	resp, err := httpClient.Post(c.BaseURL+"/v1/analyze", "application/json", bytes.NewReader(body))
 	if err != nil {
+		obsRequests.With(c.Model, "transport_error").Inc()
 		return nil, fmt.Errorf("llm: querying %s: %w", c.Model, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var apiErr ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&apiErr)
+		obsRequests.With(c.Model, "http_error").Inc()
 		return nil, fmt.Errorf("llm: %s returned HTTP %d: %s", c.Model, resp.StatusCode, apiErr.Error)
 	}
 	var chat ChatResponse
 	if err := json.NewDecoder(resp.Body).Decode(&chat); err != nil {
+		obsRequests.With(c.Model, "bad_response").Inc()
 		return nil, fmt.Errorf("llm: decoding response: %w", err)
 	}
 	analysis, err := ParseResponse(chat.Text)
 	if err != nil {
+		// An unparseable verdict is itself a signal (§3.3); count it
+		// apart from transport failures.
+		obsRequests.With(c.Model, "unparseable").Inc()
 		return nil, err
 	}
 	analysis.Model = c.Model
+	obsRequests.With(c.Model, "ok").Inc()
+	obsVerdicts.With(analysis.Verdict.String()).Inc()
 	return analysis, nil
 }
 

@@ -11,7 +11,34 @@ import (
 	"github.com/6g-xsec/xsec/internal/e2sm"
 	"github.com/6g-xsec/xsec/internal/feature"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/ric"
+)
+
+// Detection-pipeline observability. Scoring runs per telemetry batch on
+// the streaming hot path, so every handle is interned up front and each
+// observation is a single atomic update.
+var (
+	obsRecords = obs.NewCounter("xsec_mobiwatch_records_total",
+		"Telemetry records ingested by MobiWatch.")
+	obsWindows = obs.NewCounter("xsec_mobiwatch_windows_scored_total",
+		"Sliding windows scored across both detectors.")
+	obsAnomalies = obs.NewCounterVec("xsec_mobiwatch_anomalies_total",
+		"Windows whose score exceeded the detection threshold, by model.", "model")
+	obsAnomalyAE   = obsAnomalies.With(string(ModelAE))
+	obsAnomalyLSTM = obsAnomalies.With(string(ModelLSTM))
+	obsAlerts      = obs.NewCounterVec("xsec_mobiwatch_alerts_total",
+		"Alerts offered to the analyzer stream, by outcome.", "outcome")
+	obsAlertsRaised  = obsAlerts.With("raised")
+	obsAlertsDropped = obsAlerts.With("dropped")
+	obsBadBatches    = obs.NewCounter("xsec_mobiwatch_bad_batches_total",
+		"E2 indication payloads that failed to decode.")
+	obsQueueDepth = obs.NewGaugeVec("xsec_mobiwatch_alert_queue_depth",
+		"Pending alerts in the xApp alert buffer, by node.", "node")
+	obsScoreSeconds = obs.NewHistogram("xsec_mobiwatch_score_seconds",
+		"Streaming-inference latency per telemetry batch.", obs.ExpBuckets(1e-6, 4, 12))
+	obsFlagSeconds = obs.NewHistogram("xsec_mobiwatch_flag_seconds",
+		"E2 indication arrival to anomaly flag.", obs.DefLatencyBuckets)
 )
 
 // Alert is one flagged anomalous window, handed to the LLM Analyzer.
@@ -30,6 +57,13 @@ type Alert struct {
 	Model     ModelName
 	// At is when the detection fired.
 	At time.Time
+	// ReceivedAt is when the E2 indication that completed the flagged
+	// window arrived at the RIC (zero for offline replays). The
+	// analyzer uses it for the end-to-end detection-latency histogram.
+	ReceivedAt time.Time
+	// IndicationSN is that indication's sequence number; together with
+	// NodeID it keys the pipeline trace spans.
+	IndicationSN uint64
 }
 
 // RunOptions configures the online xApp.
@@ -96,6 +130,8 @@ type Runtime struct {
 	vecs    [][]float64    // encoded counterparts of recent
 	scratch *ScoreScratch  // inference workspace (guarded by mu)
 	flat    []float64      // reusable window-flattening buffer
+	batchAt time.Time      // RIC arrival time of the batch being ingested
+	batchSN uint64         // its E2 indication sequence number
 	done    chan struct{}
 }
 
@@ -161,23 +197,35 @@ func (rt *Runtime) loop() {
 	defer close(rt.alerts)
 	defer close(rt.done)
 	for ind := range rt.sub.C() {
+		span := obs.StartSpan(obs.IndicationKey(ind.NodeID, ind.SN), "mobiwatch.score")
 		msg, err := e2sm.DecodeIndicationMessage(ind.Message)
 		if err != nil {
-			continue // malformed batch; counters only
+			obsBadBatches.Inc()
+			obs.L().Warn("mobiwatch: undecodable indication payload",
+				"node", ind.NodeID, "sn", ind.SN, "err", err)
+			span.End()
+			continue
 		}
 		rt.stats.BatchesHandled.Add(1)
-		rt.ingest(ind.NodeID, msg.Records)
+		start := time.Now()
+		rt.ingest(ind, msg.Records)
+		obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
+		span.End()
+		obsQueueDepth.With(rt.opts.NodeID).Set(float64(len(rt.alerts)))
 	}
 }
 
 // ingest runs streaming inference over a telemetry batch.
-func (rt *Runtime) ingest(nodeID string, batch mobiflow.Trace) {
+func (rt *Runtime) ingest(ind ric.Indication, batch mobiflow.Trace) {
+	nodeID := ind.NodeID
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.batchAt, rt.batchSN = ind.ReceivedAt, ind.SN
 	N := rt.models.Window
 	sdl := rt.xapp.SDL()
 	for _, rec := range batch {
 		rt.stats.RecordsSeen.Add(1)
+		obsRecords.Inc()
 		// Persist telemetry in the SDL for other services (§3.1).
 		sdl.Set("mobiflow", fmt.Sprintf("%s/%020d", nodeID, rec.Seq), mobiflow.Encode(&rec))
 
@@ -212,7 +260,9 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 	}
 	rt.flat = flat
 	rt.stats.WindowsScored.Add(1)
+	obsWindows.Inc()
 	if s := rt.models.ScoreAEWindowWith(rt.scratch, flat); s > rt.models.AEThreshold {
+		obsAnomalyAE.Inc()
 		rt.raise(nodeID, rt.recent[len(rt.recent)-N:], s, rt.models.AEThreshold, ModelAE)
 	}
 
@@ -221,7 +271,9 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 		window := rt.vecs[n-N-1 : n-1]
 		next := rt.vecs[n-1]
 		rt.stats.WindowsScored.Add(1)
+		obsWindows.Inc()
 		if s := rt.models.LSTM.ScoreWith(rt.scratch.LSTM, window, next); s > rt.models.LSTMThreshold {
+			obsAnomalyLSTM.Inc()
 			rt.raise(nodeID, rt.recent[len(rt.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
 		}
 	}
@@ -241,18 +293,27 @@ func (rt *Runtime) raise(nodeID string, window mobiflow.Trace, score, threshold 
 		start++
 	}
 	alert := Alert{
-		NodeID:    nodeID,
-		Window:    append(mobiflow.Trace(nil), window...),
-		Context:   append(mobiflow.Trace(nil), rt.recent[start:]...),
-		Score:     score,
-		Threshold: threshold,
-		Model:     model,
-		At:        rt.opts.Clock(),
+		NodeID:       nodeID,
+		Window:       append(mobiflow.Trace(nil), window...),
+		Context:      append(mobiflow.Trace(nil), rt.recent[start:]...),
+		Score:        score,
+		Threshold:    threshold,
+		Model:        model,
+		At:           rt.opts.Clock(),
+		ReceivedAt:   rt.batchAt,
+		IndicationSN: rt.batchSN,
+	}
+	if !rt.batchAt.IsZero() {
+		obsFlagSeconds.ObserveSeconds(time.Since(rt.batchAt).Nanoseconds())
 	}
 	select {
 	case rt.alerts <- alert:
 		rt.stats.AlertsRaised.Add(1)
+		obsAlertsRaised.Inc()
 	default:
 		rt.stats.AlertsDropped.Add(1)
+		obsAlertsDropped.Inc()
+		obs.L().Warn("mobiwatch: alert buffer full, alert dropped",
+			"node", nodeID, "model", string(model))
 	}
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram samples observations into fixed buckets. Observe is
+// wait-free on the bucket and count updates (one atomic add each) and
+// lock-free on the sum (a CAS loop), and performs no allocation, so it
+// is safe on the streaming-inference hot path.
+//
+// Bucket semantics follow Prometheus: an observation v belongs to the
+// first bucket whose upper bound is >= v (bounds are inclusive), and
+// rendered bucket counts are cumulative with a final +Inf bucket equal
+// to the total count.
+type Histogram struct {
+	upper   []float64 // shared with the family; strictly increasing
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are small (≤ ~20) and fixed, so this
+	// beats binary search and stays allocation-free.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveSeconds records a duration given in nanoseconds as seconds —
+// a convenience for time.Since(...).Nanoseconds() call sites that must
+// not allocate.
+func (h *Histogram) ObserveSeconds(ns int64) {
+	h.Observe(float64(ns) / 1e9)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// cumulative fills cum with the cumulative per-bucket counts (len ==
+// len(upper)+1, last entry is the +Inf total). Reading is not atomic
+// across buckets; scrapes racing observations may be off by in-flight
+// samples, as with any live histogram.
+func (h *Histogram) cumulative(cum []uint64) {
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	cum[len(h.counts)] = acc + h.inf.Load()
+}
+
+// HistogramVec is a labeled histogram family handle.
+type HistogramVec struct {
+	f *family
+}
+
+// HistogramVec registers (or fetches) a histogram family with the given
+// bucket upper bounds (strictly increasing, +Inf implicit).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets must increase strictly", name))
+		}
+	}
+	return &HistogramVec{f: r.family(name, help, KindHistogram, labels, buckets)}
+}
+
+// With interns and returns the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.with(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// ExpBuckets returns count exponential bucket upper bounds starting at
+// start (> 0) and growing by factor (> 1): start, start*factor, ...
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets covers 100 µs … ~3.3 s exponentially — the span of
+// the near-RT control loop (10 ms – 1 s) with headroom on both sides.
+var DefLatencyBuckets = ExpBuckets(100e-6, 2, 16)

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler returns the observability endpoint for a registry and
+// tracer:
+//
+//	/metrics      Prometheus text exposition (version 0.0.4)
+//	/traces       retained pipeline spans as JSON, oldest first
+//	/healthz      liveness probe
+//	/debug/pprof  the standard Go profiler surface
+func NewHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		spans := tr.Spans()
+		if key := r.URL.Query().Get("key"); key != "" {
+			spans = tr.ByKey(key)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(spans)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe exposes the Default registry and DefaultTracer on
+// addr (e.g. ":9090", or "127.0.0.1:0" to pick a free port). It
+// returns the bound address and a shutdown function.
+func ListenAndServe(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(Default, DefaultTracer)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

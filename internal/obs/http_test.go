@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("xsec_test_http_total", "help").With().Add(5)
+	srv := httptest.NewServer(NewHandler(r, NewTracer(4)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "xsec_test_http_total 5\n") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Key: "a/1", Stage: "gnb.report"})
+	tr.Record(Span{Key: "b/1", Stage: "ric.route"})
+	srv := httptest.NewServer(NewHandler(NewRegistry(), tr))
+	defer srv.Close()
+
+	get := func(url string) []Span {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var spans []Span
+		if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+			t.Fatal(err)
+		}
+		return spans
+	}
+
+	if spans := get(srv.URL + "/traces"); len(spans) != 2 {
+		t.Fatalf("all spans = %+v", spans)
+	}
+	spans := get(srv.URL + "/traces?key=b/1")
+	if len(spans) != 1 || spans[0].Stage != "ric.route" {
+		t.Fatalf("filtered spans = %+v", spans)
+	}
+}
+
+func TestHandlerHealthAndPprof(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), NewTracer(4)))
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	addr, shutdown, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

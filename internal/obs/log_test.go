@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestLogger() (*Logger, *strings.Builder) {
+	var sb strings.Builder
+	l := NewLogger(&sb)
+	l.setClock(func() time.Time {
+		return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	})
+	return l, &sb
+}
+
+func TestLoggerLogfmt(t *testing.T) {
+	l, sb := newTestLogger()
+	l.Info("indication routed", "xapp", "mobiwatch", "sn", 42)
+	want := "t=2026-08-06T12:00:00.000Z lvl=info msg=\"indication routed\" xapp=mobiwatch sn=42\n"
+	if sb.String() != want {
+		t.Fatalf("got  %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestLoggerLevelGating(t *testing.T) {
+	l, sb := newTestLogger()
+	l.SetLevel(LevelWarn)
+	l.Debug("hidden")
+	l.Info("hidden")
+	l.Warn("shown")
+	l.Error("shown too")
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("below-level records emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "lvl=warn msg=shown") || !strings.Contains(out, "lvl=error") {
+		t.Fatalf("at-level records missing:\n%s", out)
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	l, sb := newTestLogger()
+	child := l.With("node", "gnb-001").With("xapp", "mobiwatch")
+	child.Info("ok")
+	if !strings.Contains(sb.String(), "msg=ok node=gnb-001 xapp=mobiwatch") {
+		t.Fatalf("With context missing: %q", sb.String())
+	}
+	// The parent is unaffected.
+	sb.Reset()
+	l.Info("bare")
+	if strings.Contains(sb.String(), "node=") {
+		t.Fatalf("parent inherited child context: %q", sb.String())
+	}
+}
+
+func TestLoggerValueRendering(t *testing.T) {
+	l, sb := newTestLogger()
+	l.Info("vals",
+		"err", errors.New("boom failed"),
+		"lvl", LevelWarn, // fmt.Stringer
+		"quoted", `say "hi"`,
+		"empty", "",
+	)
+	out := sb.String()
+	for _, want := range []string{
+		`err="boom failed"`,
+		"lvl=warn",
+		`quoted="say \"hi\""`,
+		`empty=""`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	l, sb := newTestLogger()
+	l.Info("odd", "dangling")
+	if !strings.Contains(sb.String(), "!ODD=dangling") {
+		t.Fatalf("odd trailing value dropped: %q", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerStartEnd(t *testing.T) {
+	tr := NewTracer(8)
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tr.setClock(func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	})
+
+	sp := tr.Start(IndicationKey("gnb-001", 7), "ric.route")
+	sp.End()
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Key != "gnb-001/7" || s.Stage != "ric.route" {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Duration() != time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Key: IndicationKey("n", uint64(i)), Stage: "s"})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	spans := tr.Spans()
+	// Oldest-first with the two earliest evicted.
+	want := []string{"n/2", "n/3", "n/4"}
+	for i, s := range spans {
+		if s.Key != want[i] {
+			t.Fatalf("spans[%d].Key = %q, want %q (all: %+v)", i, s.Key, want[i], spans)
+		}
+	}
+}
+
+func TestTracerByKey(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Span{Key: "a/1", Stage: "gnb.report"})
+	tr.Record(Span{Key: "a/2", Stage: "gnb.report"})
+	tr.Record(Span{Key: "a/1", Stage: "ric.route"})
+	got := tr.ByKey("a/1")
+	if len(got) != 2 || got[0].Stage != "gnb.report" || got[1].Stage != "ric.route" {
+		t.Fatalf("ByKey = %+v", got)
+	}
+}
+
+func TestIndicationKey(t *testing.T) {
+	if k := IndicationKey("gnb-oai-42", 1337); k != "gnb-oai-42/1337" {
+		t.Fatalf("key = %q", k)
+	}
+}

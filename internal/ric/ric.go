@@ -21,8 +21,23 @@ import (
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/wire"
+)
+
+// Platform-level observability. Indication routing is labeled per xApp
+// so backpressure loss is attributable: the per-subscription handles
+// are interned at Subscribe time and the delivery path pays one atomic
+// add per indication.
+var (
+	obsIndications = obs.NewCounterVec("xsec_ric_indications_total",
+		"RIC indications routed toward xApp subscriptions, by xApp and outcome.", "xapp", "outcome")
+	obsUnmatched = obsIndications.With("_none", "unmatched")
+	obsNodes     = obs.NewGauge("xsec_ric_e2_nodes",
+		"Currently connected E2 nodes.")
+	obsProcedures = obs.NewCounterVec("xsec_ric_procedures_total",
+		"E2 procedures initiated by the platform, by procedure and outcome.", "procedure", "outcome")
 )
 
 // Errors returned by platform operations.
@@ -182,7 +197,9 @@ func (p *Platform) AttachNode(ep *e2ap.Endpoint) error {
 		return fmt.Errorf("ric: node %q already connected", first.NodeID)
 	}
 	p.nodes[first.NodeID] = node
+	obsNodes.Set(float64(len(p.nodes)))
 	p.mu.Unlock()
+	obs.L().Info("ric: E2 node attached", "node", first.NodeID, "functions", len(first.RANFunctions))
 
 	if err := ep.Send(&e2ap.Message{Type: e2ap.TypeE2SetupResponse, NodeID: "ric-0", TransactionID: first.TransactionID}); err != nil {
 		p.detachNode(first.NodeID)
@@ -204,6 +221,7 @@ func (p *Platform) detachNode(nodeID string) {
 	node, ok := p.nodes[nodeID]
 	if ok {
 		delete(p.nodes, nodeID)
+		obsNodes.Set(float64(len(p.nodes)))
 	}
 	// Tear down subscriptions bound to this node.
 	var gone []*Subscription
@@ -231,6 +249,9 @@ func (p *Platform) route(node *nodeConn, msg *e2ap.Message) {
 		p.mu.Unlock()
 		if sub == nil {
 			p.metrics.IndicationsDropped.Add(1)
+			obsUnmatched.Inc()
+			obs.L().Debug("ric: indication without subscription dropped",
+				"node", node.info.NodeID, "request", msg.RequestID)
 			return
 		}
 		ind := Indication{
@@ -244,9 +265,17 @@ func (p *Platform) route(node *nodeConn, msg *e2ap.Message) {
 		}
 		if sub.deliver(ind) {
 			p.metrics.IndicationsRouted.Add(1)
+			sub.obsRouted.Inc()
 		} else {
+			// The xApp's buffer is full: the loss is counted per xApp
+			// and logged so backpressure is visible, not silent.
 			p.metrics.IndicationsDropped.Add(1)
+			sub.obsDropped.Inc()
+			obs.L().Warn("ric: xApp subscription buffer full, indication dropped",
+				"xapp", sub.xapp.name, "node", node.info.NodeID, "sn", msg.IndicationSN)
 		}
+		obs.RecordSpan(obs.IndicationKey(node.info.NodeID, msg.IndicationSN),
+			"ric.route", ind.ReceivedAt, p.clock())
 	case e2ap.TypeSubscriptionResponse, e2ap.TypeSubscriptionFailure,
 		e2ap.TypeSubscriptionDeleteResponse,
 		e2ap.TypeControlAck, e2ap.TypeControlFailure:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/sdl"
 )
 
@@ -59,6 +60,11 @@ type Subscription struct {
 	sendMu sync.Mutex
 	closed bool
 	ch     chan Indication
+
+	// Interned per-xApp routing counters; resolved once at Subscribe
+	// so the delivery hot path performs no label lookup.
+	obsRouted  *obs.Counter
+	obsDropped *obs.Counter
 }
 
 // C is the indication stream.
@@ -137,11 +143,13 @@ func (p *Platform) request(nodeID string, msg *e2ap.Message) (*e2ap.Message, err
 func (x *XApp) Subscribe(nodeID string, ranFunctionID uint16, eventTrigger []byte, actions []e2ap.Action, buffer int) (*Subscription, error) {
 	reqID := x.nextRequestID()
 	sub := &Subscription{
-		ID:     reqID,
-		nodeID: nodeID,
-		fnID:   ranFunctionID,
-		xapp:   x,
-		ch:     make(chan Indication, buffer),
+		ID:         reqID,
+		nodeID:     nodeID,
+		fnID:       ranFunctionID,
+		xapp:       x,
+		ch:         make(chan Indication, buffer),
+		obsRouted:  obsIndications.With(x.name, "routed"),
+		obsDropped: obsIndications.With(x.name, "dropped"),
 	}
 	// Register before sending so indications racing the response are kept.
 	x.platform.mu.Lock()
@@ -160,12 +168,16 @@ func (x *XApp) Subscribe(nodeID string, ranFunctionID uint16, eventTrigger []byt
 		delete(x.platform.subs, reqID)
 		x.platform.mu.Unlock()
 		x.platform.metrics.SubscriptionsFail.Add(1)
+		obsProcedures.With("subscribe", "fail").Inc()
 		if err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: %s", ErrSubscriptionFailed, resp.Cause)
 	}
 	x.platform.metrics.SubscriptionsOK.Add(1)
+	obsProcedures.With("subscribe", "ok").Inc()
+	obs.L().Info("ric: subscription established",
+		"xapp", x.name, "node", nodeID, "function", ranFunctionID, "buffer", buffer)
 	return sub, nil
 }
 
@@ -204,12 +216,15 @@ func (x *XApp) Control(nodeID string, ranFunctionID uint16, header, message []by
 	})
 	if err != nil {
 		x.platform.metrics.ControlsFail.Add(1)
+		obsProcedures.With("control", "fail").Inc()
 		return err
 	}
 	if resp.Type != e2ap.TypeControlAck {
 		x.platform.metrics.ControlsFail.Add(1)
+		obsProcedures.With("control", "fail").Inc()
 		return fmt.Errorf("%w: %s", ErrControlFailed, resp.Cause)
 	}
 	x.platform.metrics.ControlsOK.Add(1)
+	obsProcedures.With("control", "ok").Inc()
 	return nil
 }
