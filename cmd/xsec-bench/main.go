@@ -10,6 +10,7 @@
 //	xsec-bench -quick -table 2      # reduced dataset / epochs
 //	xsec-bench -nn                  # NN hot-path baseline → BENCH_nn.json
 //	xsec-bench -obs                 # live-pipeline metrics baseline → BENCH_obs.json
+//	xsec-bench -mitigate            # closed-loop mitigation baseline → BENCH_mitigate.json
 package main
 
 import (
@@ -30,7 +31,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		nnBench  = flag.Bool("nn", false, "measure the NN hot paths and write the machine-readable baseline")
 		obsBench = flag.Bool("obs", false, "run the live pipeline and snapshot the observability registry")
-		outPath  = flag.String("out", "", "baseline output path (default BENCH_nn.json for -nn, BENCH_obs.json for -obs)")
+		mitBench = flag.Bool("mitigate", false, "measure the closed mitigation loop under the DoS attacks")
+		outPath  = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,20 @@ func main() {
 		out := *outPath
 		if out == "" {
 			out = "BENCH_obs.json"
+		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
+		return
+	}
+	if *mitBench {
+		res, err := bench.RunMitigateBench(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		out := *outPath
+		if out == "" {
+			out = "BENCH_mitigate.json"
 		}
 		data, err := res.JSON()
 		writeBaseline(res.Format(), data, err, out)

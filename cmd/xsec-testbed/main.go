@@ -8,6 +8,7 @@
 //	xsec-testbed                       # train, deploy, run all five attacks
 //	xsec-testbed -attack bts-dos      # one attack
 //	xsec-testbed -auto                # apply closed-loop controls automatically
+//	xsec-testbed -mitigate enforce    # governed mitigation engine (off | dry-run | enforce)
 //	xsec-testbed -model llama3        # pick the analyst personality
 package main
 
@@ -15,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/core"
+	"github.com/6g-xsec/xsec/internal/mitigate"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/ue"
@@ -26,7 +29,8 @@ import (
 func main() {
 	var (
 		attack      = flag.String("attack", "all", "attack to launch: bts-dos | blind-dos | uplink-id | downlink-id | null-cipher | all")
-		auto        = flag.Bool("auto", false, "apply recommended E2 control actions automatically")
+		auto        = flag.Bool("auto", false, "apply recommended E2 control actions automatically (ungoverned legacy path)")
+		mitigateMod = flag.String("mitigate", "", "deploy the mitigation engine: off | dry-run | enforce")
 		model       = flag.String("model", "chatgpt-4o", "LLM analyst personality")
 		sessions    = flag.Int("sessions", 60, "benign training sessions")
 		epochs      = flag.Int("epochs", 25, "training epochs")
@@ -44,13 +48,13 @@ func main() {
 		obs.SetLogOutput(os.Stderr)
 		obs.SetLogLevel(lv)
 	}
-	if err := run(*attack, *auto, *model, *sessions, *epochs, *seed, *metricsAddr); err != nil {
+	if err := run(*attack, *auto, *mitigateMod, *model, *sessions, *epochs, *seed, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "xsec-testbed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(attack string, auto bool, model string, sessions, epochs int, seed int64, metricsAddr string) error {
+func run(attack string, auto bool, mitigateMode, model string, sessions, epochs int, seed int64, metricsAddr string) error {
 	fmt.Println("=== 6G-XSec testbed ===")
 	fw, err := core.New(core.Options{
 		Seed:         seed,
@@ -58,6 +62,7 @@ func run(attack string, auto bool, model string, sessions, epochs int, seed int6
 		TrainOpts:    mobiwatch.TrainOptions{Epochs: epochs, Seed: seed},
 		LLMModel:     model,
 		AutoRespond:  auto,
+		Mitigate:     mitigateMode,
 		MetricsAddr:  metricsAddr,
 	})
 	if err != nil {
@@ -84,7 +89,12 @@ func run(attack string, auto bool, model string, sessions, epochs int, seed int6
 	if err := fw.DeployXApps(); err != nil {
 		return err
 	}
-	fmt.Println("xApps deployed: mobiwatch, llm-analyzer")
+	if fw.Mitigator() != nil {
+		fmt.Printf("xApps deployed: mobiwatch, llm-analyzer, mitigation-engine (%s)\n",
+			fw.Mitigator().Mode())
+	} else {
+		fmt.Println("xApps deployed: mobiwatch, llm-analyzer")
+	}
 
 	// Consume cases in the background.
 	done := make(chan struct{})
@@ -165,5 +175,22 @@ func run(attack string, auto bool, model string, sessions, epochs int, seed int6
 		as.Processed.Load(), as.Agreements.Load(), as.Disagrees.Load(), as.Failures.Load())
 	fmt.Printf("human-review queue:       %d\n", fw.Analyzer().HumanQueueLen())
 	fmt.Printf("closed-loop controls:     %d\n", fw.ControlsSent())
+	if eng := fw.Mitigator(); eng != nil {
+		eng.Quiesce()
+		tally := map[string]int{}
+		for _, en := range mitigate.Entries(fw.SDL) {
+			tally[en.Decision]++
+		}
+		decisions := make([]string, 0, len(tally))
+		for d := range tally {
+			decisions = append(decisions, d)
+		}
+		sort.Strings(decisions)
+		fmt.Printf("mitigation engine (%s):   %d journaled proposals, %d active\n",
+			eng.Mode(), len(mitigate.Entries(fw.SDL)), eng.ActiveCount())
+		for _, d := range decisions {
+			fmt.Printf("    %-22s %d\n", d, tally[d])
+		}
+	}
 	return nil
 }

@@ -19,7 +19,9 @@ import (
 	"github.com/6g-xsec/xsec/internal/llm"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/nas"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/rrc"
 	"github.com/6g-xsec/xsec/internal/sdl"
 )
 
@@ -188,8 +190,10 @@ func RecommendControl(analysis *llm.Analysis, window mobiflow.Trace) *e2sm.Contr
 	}
 	switch analysis.TopClass() {
 	case llm.ClassBTSDoS:
-		// Release the most recent offending context.
-		if ue, ok := lastUE(window); ok {
+		// Release the context with the most incomplete connection
+		// attempts — not simply the last UE in the window, which can be
+		// a benign bystander whose records trail the attacker's.
+		if ue, ok := mostIncompleteUE(window); ok {
 			return &e2sm.ControlRequest{
 				Action: e2sm.ControlReleaseUE,
 				UEID:   ue,
@@ -213,11 +217,49 @@ func RecommendControl(analysis *llm.Analysis, window mobiflow.Trace) *e2sm.Contr
 	return nil
 }
 
-func lastUE(window mobiflow.Trace) (uint64, bool) {
-	if len(window) == 0 {
-		return 0, false
+// mostIncompleteUE picks the release target for a signaling storm: the
+// UE context with the most incomplete connection-attempt records in the
+// window. Setup and registration requests count as attempt evidence; a
+// context that activates security within the window completed a normal
+// attach and is never selected, so a benign bystander — even one whose
+// records trail the attacker's — is not released. Ties go to the most
+// recently seen offender, the closest context to the storm's front.
+func mostIncompleteUE(window mobiflow.Trace) (uint64, bool) {
+	attemptMsgs := map[string]bool{
+		rrc.TypeSetupRequest.String():        true,
+		nas.TypeRegistrationRequest.String(): true,
 	}
-	return window[len(window)-1].UEID, true
+	type tally struct {
+		attempts int
+		complete bool
+		lastSeen int
+	}
+	byUE := make(map[uint64]*tally)
+	for i, r := range window {
+		tl := byUE[r.UEID]
+		if tl == nil {
+			tl = &tally{}
+			byUE[r.UEID] = tl
+		}
+		tl.lastSeen = i
+		if attemptMsgs[r.Msg] {
+			tl.attempts++
+		}
+		if r.SecurityOn || r.RRCState == rrc.StateSecurityActivated || r.RRCState == rrc.StateReconfigured {
+			tl.complete = true
+		}
+	}
+	var best uint64
+	bestAttempts, bestSeen := 0, -1
+	for ue, tl := range byUE {
+		if tl.complete {
+			continue
+		}
+		if tl.attempts > bestAttempts || (tl.attempts == bestAttempts && tl.lastSeen > bestSeen) {
+			best, bestAttempts, bestSeen = ue, tl.attempts, tl.lastSeen
+		}
+	}
+	return best, bestAttempts > 0
 }
 
 func dominantTMSI(window mobiflow.Trace) (cell.TMSI, bool) {

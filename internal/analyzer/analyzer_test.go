@@ -10,6 +10,8 @@ import (
 	"github.com/6g-xsec/xsec/internal/llm"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/ue"
 )
@@ -183,5 +185,44 @@ func TestRecommendControl(t *testing.T) {
 	ctrl := RecommendControl(blind, w)
 	if ctrl == nil || ctrl.TMSI != cell.TMSI(5) {
 		t.Errorf("control = %+v", ctrl)
+	}
+}
+
+func TestBTSDoSReleaseTargetsOffenderNotBystander(t *testing.T) {
+	storm := &llm.Analysis{Verdict: llm.VerdictAnomalous,
+		Hypotheses: []llm.Hypothesis{{Class: llm.ClassBTSDoS}}}
+
+	// A signaling-storm window: fabricated contexts 10 and 11 each fire
+	// an abandoned setup+registration, while benign UE 7 — whose records
+	// happen to come last — completes its attach (security activated).
+	window := mobiflow.Trace{
+		{UEID: 10, Msg: "RRCSetupRequest", RRCState: rrc.StateSetupRequested},
+		{UEID: 11, Msg: "RRCSetupRequest", RRCState: rrc.StateSetupRequested},
+		{UEID: 10, Msg: "RegistrationRequest", NASState: nas.StateRegInitiated},
+		{UEID: 11, Msg: "RegistrationRequest", NASState: nas.StateRegInitiated},
+		{UEID: 7, Msg: "RRCSetupRequest", RRCState: rrc.StateSetupRequested},
+		{UEID: 7, Msg: "RegistrationRequest", NASState: nas.StateRegInitiated},
+		{UEID: 7, Msg: "NASSecurityModeComplete", SecurityOn: true, NASState: nas.StateSecured},
+		{UEID: 7, Msg: "RRCSecurityModeComplete", SecurityOn: true, RRCState: rrc.StateSecurityActivated},
+	}
+	ctrl := RecommendControl(storm, window)
+	if ctrl == nil || ctrl.Action != e2sm.ControlReleaseUE {
+		t.Fatalf("control = %+v", ctrl)
+	}
+	if ctrl.UEID == 7 {
+		t.Fatal("benign trailing UE selected for release")
+	}
+	// Ties between offenders break toward the most recent one.
+	if ctrl.UEID != 11 {
+		t.Errorf("release target = %d, want most recent offender 11", ctrl.UEID)
+	}
+
+	// A window where every context completed yields no release at all.
+	done := mobiflow.Trace{
+		{UEID: 7, Msg: "RRCSetupRequest", RRCState: rrc.StateSetupRequested},
+		{UEID: 7, Msg: "RRCSecurityModeComplete", SecurityOn: true, RRCState: rrc.StateSecurityActivated},
+	}
+	if got := RecommendControl(storm, done); got != nil {
+		t.Errorf("all-complete window produced control %+v", got)
 	}
 }

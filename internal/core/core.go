@@ -29,6 +29,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/e2sm"
 	"github.com/6g-xsec/xsec/internal/gnb"
 	"github.com/6g-xsec/xsec/internal/llm"
+	"github.com/6g-xsec/xsec/internal/mitigate"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/nas"
@@ -59,7 +60,15 @@ type Options struct {
 	LLMRAG bool
 	// AutoRespond applies recommended E2 control actions automatically
 	// (the closed loop); otherwise cases only surface recommendations.
+	// Ignored when Mitigate deploys the governed engine.
 	AutoRespond bool
+	// Mitigate deploys the mitigation-engine xApp in the given mode
+	// ("off", "dry-run", "enforce"); empty leaves it undeployed and
+	// AutoRespond in charge. A1 policies can switch the mode at runtime.
+	Mitigate string
+	// MitigateTTL overrides the engine's rollback TTL for reversible
+	// actions (default 30 s).
+	MitigateTTL time.Duration
 	// CaseBuffer bounds the processed-case stream (default 128).
 	CaseBuffer int
 	// MetricsAddr, when non-empty, serves the observability endpoint
@@ -103,8 +112,10 @@ type Framework struct {
 
 	watch     *mobiwatch.Runtime
 	anlz      *analyzer.Analyzer
+	mitigator *mitigate.Engine
 	xappWatch *ric.XApp
 	xappAnlz  *ric.XApp
+	xappMit   *ric.XApp
 
 	llmAddr     string
 	llmShutdown func() error
@@ -281,6 +292,24 @@ func (f *Framework) DeployXApps() error {
 	client := llm.NewClient(f.llmAddr, f.Opts.LLMModel)
 	client.RAG = f.Opts.LLMRAG
 	f.anlz = analyzer.New(client, f.SDL)
+
+	if f.Opts.Mitigate != "" {
+		mode, err := mitigate.ParseMode(f.Opts.Mitigate)
+		if err != nil {
+			return err
+		}
+		f.xappMit, err = f.RIC.RegisterXApp("mitigation-engine")
+		if err != nil {
+			return err
+		}
+		f.mitigator = mitigate.New(mitigate.Config{
+			NodeID: f.Opts.NodeID,
+			Issuer: f.xappMit,
+			Store:  f.SDL,
+			Mode:   mode,
+			TTL:    f.Opts.MitigateTTL,
+		})
+	}
 	go f.pump()
 
 	// A1 policy feed: operator threshold changes apply to the running
@@ -300,6 +329,9 @@ func (f *Framework) DeployXApps() error {
 				// Invalid percentiles are operator error; the policy
 				// simply does not take effect.
 				_ = f.watch.SetThresholdPercentile(policy.ThresholdPercentile)
+			}
+			if f.mitigator != nil {
+				f.mitigator.ApplyPolicy(policy)
 			}
 		}
 	}()
@@ -324,9 +356,15 @@ func (f *Framework) pump() {
 		if err != nil {
 			continue
 		}
-		if f.Opts.AutoRespond && c.Control != nil {
-			if err := f.SendControl(c.Control); err == nil {
-				f.controlsSent.Add(1)
+		if c.Control != nil {
+			switch {
+			case f.mitigator != nil:
+				// The engine governs, journals, issues, and rolls back.
+				f.mitigator.Submit(c)
+			case f.Opts.AutoRespond:
+				if err := f.SendControl(c.Control); err == nil {
+					f.controlsSent.Add(1)
+				}
 			}
 		}
 		select {
@@ -370,10 +408,18 @@ func (f *Framework) AnalyzerStats() *analyzer.Stats {
 // Analyzer exposes the analyzer xApp (nil before deploy).
 func (f *Framework) Analyzer() *analyzer.Analyzer { return f.anlz }
 
+// Mitigator exposes the mitigation engine (nil unless Options.Mitigate
+// deployed it).
+func (f *Framework) Mitigator() *mitigate.Engine { return f.mitigator }
+
 // Close shuts everything down.
 func (f *Framework) Close() {
 	if f.a1Cancel != nil {
 		f.a1Cancel()
+	}
+	if f.mitigator != nil {
+		// Before the RIC: in-flight controls still need the E2 path.
+		f.mitigator.Close()
 	}
 	if f.watch != nil {
 		f.watch.Stop()

@@ -211,6 +211,12 @@ const (
 	ControlBlockTMSI
 	// ControlRequireStrongSecurity refuses null-algorithm security modes.
 	ControlRequireStrongSecurity
+	// ControlUnblockTMSI lifts a ControlBlockTMSI deny entry — the TTL
+	// rollback of the mitigation engine.
+	ControlUnblockTMSI
+	// ControlRelaxSecurity reverts ControlRequireStrongSecurity, again
+	// accepting whatever algorithms the core negotiates.
+	ControlRelaxSecurity
 )
 
 // String returns the action name.
@@ -222,8 +228,25 @@ func (a ControlAction) String() string {
 		return "block-tmsi"
 	case ControlRequireStrongSecurity:
 		return "require-strong-security"
+	case ControlUnblockTMSI:
+		return "unblock-tmsi"
+	case ControlRelaxSecurity:
+		return "relax-security"
 	}
 	return fmt.Sprintf("ControlAction(%d)", uint8(a))
+}
+
+// Inverse returns the rollback action undoing a, and whether a is
+// reversible. Only reversible actions carry TTLs in the mitigation
+// engine; releasing a UE cannot be undone by the RAN.
+func (a ControlAction) Inverse() (ControlAction, bool) {
+	switch a {
+	case ControlBlockTMSI:
+		return ControlUnblockTMSI, true
+	case ControlRequireStrongSecurity:
+		return ControlRelaxSecurity, true
+	}
+	return 0, false
 }
 
 // ControlRequest is the E2SM-XRC control payload.

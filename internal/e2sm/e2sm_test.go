@@ -91,10 +91,32 @@ func TestControlRequestRoundTrip(t *testing.T) {
 func TestControlActionStrings(t *testing.T) {
 	if ControlReleaseUE.String() != "release-ue" ||
 		ControlBlockTMSI.String() != "block-tmsi" ||
-		ControlRequireStrongSecurity.String() != "require-strong-security" {
+		ControlRequireStrongSecurity.String() != "require-strong-security" ||
+		ControlUnblockTMSI.String() != "unblock-tmsi" ||
+		ControlRelaxSecurity.String() != "relax-security" {
 		t.Error("control action names wrong")
 	}
 	if ControlAction(9).String() != "ControlAction(9)" {
 		t.Error("unknown action name wrong")
+	}
+}
+
+func TestControlActionInverse(t *testing.T) {
+	cases := []struct {
+		action     ControlAction
+		inverse    ControlAction
+		reversible bool
+	}{
+		{ControlBlockTMSI, ControlUnblockTMSI, true},
+		{ControlRequireStrongSecurity, ControlRelaxSecurity, true},
+		{ControlReleaseUE, 0, false},
+		{ControlUnblockTMSI, 0, false},
+		{ControlRelaxSecurity, 0, false},
+	}
+	for _, c := range cases {
+		inv, ok := c.action.Inverse()
+		if ok != c.reversible || (ok && inv != c.inverse) {
+			t.Errorf("%s.Inverse() = %v, %v", c.action, inv, ok)
+		}
 	}
 }

@@ -205,8 +205,12 @@ func (a *e2Agent) control(msg *e2ap.Message) {
 		}
 	case e2sm.ControlBlockTMSI:
 		a.g.BlockTMSI(req.TMSI)
+	case e2sm.ControlUnblockTMSI:
+		a.g.UnblockTMSI(req.TMSI)
 	case e2sm.ControlRequireStrongSecurity:
 		a.g.RequireStrongSecurity(true)
+	case e2sm.ControlRelaxSecurity:
+		a.g.RequireStrongSecurity(false)
 	default:
 		fail(fmt.Sprintf("unknown control action %d", req.Action))
 		return

@@ -153,6 +153,97 @@ func TestAgentControlActions(t *testing.T) {
 	}
 }
 
+// TestControlFailureUnknownActionRoundTrip drives a control request with
+// an undefined action code through a raw E2 connection, so the resulting
+// ControlFailure is observed as the peer decodes it — proving the failure
+// PDU survives the e2ap encode/decode round trip intact.
+func TestControlFailureUnknownActionRoundTrip(t *testing.T) {
+	g := newTestGNB(t, nil)
+	ricEnd, nodeEnd := e2ap.Pipe()
+	go g.ServeE2(nodeEnd)
+
+	setup, err := ricEnd.Recv()
+	if err != nil || setup.Type != e2ap.TypeE2SetupRequest {
+		t.Fatalf("setup = %+v err=%v", setup, err)
+	}
+	if err := ricEnd.Send(&e2ap.Message{Type: e2ap.TypeE2SetupResponse, NodeID: "ric-test"}); err != nil {
+		t.Fatal(err)
+	}
+
+	reqID := e2ap.RequestID{Requestor: 7, Instance: 1}
+	ctrl := asn1lite.Marshal(&e2sm.ControlRequest{Action: e2sm.ControlAction(250), UEID: 1})
+	if err := ricEnd.Send(&e2ap.Message{
+		Type: e2ap.TypeControlRequest, RequestID: reqID,
+		RANFunctionID: e2sm.XRCRANFunctionID, ControlMessage: ctrl,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ricEnd.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != e2ap.TypeControlFailure || resp.RequestID != reqID {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Cause != "unknown control action 250" {
+		t.Errorf("cause = %q", resp.Cause)
+	}
+	// The decoded failure re-encodes to the identical PDU.
+	reenc, err := e2ap.Decode(e2ap.Encode(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reenc.Type != resp.Type || reenc.RequestID != resp.RequestID || reenc.Cause != resp.Cause {
+		t.Errorf("re-encoded failure = %+v", reenc)
+	}
+}
+
+// TestDuplicateBlockAndUnblockTMSI covers the reversible mitigation pair:
+// blocking twice is idempotent (both controls ack), and unblocking
+// restores attach service for the identity.
+func TestDuplicateBlockAndUnblockTMSI(t *testing.T) {
+	p, g := agentEnv(t)
+	x, _ := p.RegisterXApp("mitigator")
+
+	const tmsi = cell.TMSI(0xCAFE)
+	block := asn1lite.Marshal(&e2sm.ControlRequest{Action: e2sm.ControlBlockTMSI, TMSI: tmsi})
+	for i := 0; i < 2; i++ { // duplicate block: both ack, one entry
+		if err := x.Control("gnb-test", e2sm.XRCRANFunctionID, nil, block); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+	}
+	if g.BlockedTMSIs() != 1 {
+		t.Errorf("blocked TMSIs = %d, want 1", g.BlockedTMSIs())
+	}
+	attempt := func() rrc.Message {
+		l := g.Attach()
+		l.SendRRC(&rrc.SetupRequest{Identity: rrc.UEIdentity{Kind: rrc.IdentityTMSI, TMSI: tmsi}})
+		m, ok := l.TryRecv()
+		if !ok {
+			t.Fatal("no downlink response to setup request")
+		}
+		return m
+	}
+	if m := attempt(); m.Type() != rrc.TypeReject {
+		t.Fatalf("blocked TMSI got %v, want reject", m.Type())
+	}
+
+	unblock := asn1lite.Marshal(&e2sm.ControlRequest{Action: e2sm.ControlUnblockTMSI, TMSI: tmsi})
+	if err := x.Control("gnb-test", e2sm.XRCRANFunctionID, nil, unblock); err != nil {
+		t.Fatal(err)
+	}
+	if g.BlockedTMSIs() != 0 {
+		t.Errorf("blocked TMSIs after unblock = %d", g.BlockedTMSIs())
+	}
+	if m := attempt(); m.Type() != rrc.TypeSetup {
+		t.Errorf("unblocked TMSI got %v, want RRCSetup", m.Type())
+	}
+	// Unblocking an unblocked TMSI still acks (no-op rollback retry).
+	if err := x.Control("gnb-test", e2sm.XRCRANFunctionID, nil, unblock); err != nil {
+		t.Errorf("no-op unblock: %v", err)
+	}
+}
+
 func TestAgentOverTCP(t *testing.T) {
 	p := ric.NewPlatform(sdl.New())
 	defer p.Close()

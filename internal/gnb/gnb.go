@@ -436,11 +436,29 @@ func (g *GNB) ReleaseUE(ueID uint64) error {
 }
 
 // BlockTMSI denies future setup requests presenting the given TMSI (RIC
-// control action against Blind DoS).
+// control action against Blind DoS). Blocking an already-blocked TMSI is
+// a no-op, so duplicate controls are idempotent.
 func (g *GNB) BlockTMSI(tmsi cell.TMSI) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.blockedTMSI[tmsi] = true
+}
+
+// UnblockTMSI lifts a BlockTMSI entry, restoring attach service for the
+// identity (the mitigation engine's TTL rollback). Unblocking a TMSI
+// that is not blocked is a no-op.
+func (g *GNB) UnblockTMSI(tmsi cell.TMSI) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.blockedTMSI, tmsi)
+}
+
+// BlockedTMSIs reports how many temporary identities are currently
+// denied service.
+func (g *GNB) BlockedTMSIs() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.blockedTMSI)
 }
 
 // RequireStrongSecurity forwards the hardening control to the core.

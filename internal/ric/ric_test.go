@@ -1,6 +1,7 @@
 package ric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -225,6 +226,52 @@ func TestControlRoundTrip(t *testing.T) {
 	m := p.Metrics()
 	if m.ControlsOK.Load() != 1 || m.ControlsFail.Load() != 1 {
 		t.Errorf("controls ok=%d fail=%d", m.ControlsOK.Load(), m.ControlsFail.Load())
+	}
+}
+
+func TestControlContextTimeout(t *testing.T) {
+	p := NewPlatform(sdl.New(), WithTimeout(5*time.Second))
+	defer p.Close()
+
+	// A node that completes setup but never acks controls: a hung gNB.
+	ricEnd, nodeEnd := e2ap.Pipe()
+	go p.AttachNode(ricEnd)
+	nodeEnd.Send(&e2ap.Message{Type: e2ap.TypeE2SetupRequest, NodeID: "hung"})
+	if _, err := nodeEnd.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { // swallow the control request silently
+		for {
+			if _, err := nodeEnd.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	x, _ := p.RegisterXApp("x")
+	failsBefore := obsProcedures.With("control", "fail").Value()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := x.ControlContext(ctx, "hung", 3, nil, []byte("block"))
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want ErrTimeout wrapping context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("control took %v; per-request deadline not honored", elapsed)
+	}
+	if got := p.Metrics().ControlsFail.Load(); got != 1 {
+		t.Errorf("ControlsFail = %d", got)
+	}
+	if got := obsProcedures.With("control", "fail").Value() - failsBefore; got != 1 {
+		t.Errorf("control/fail procedure metric delta = %d", got)
+	}
+	// The pending slot is reclaimed: a late ack no longer matches.
+	p.mu.Lock()
+	pending := len(p.pending)
+	p.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("pending requests after timeout = %d", pending)
 	}
 }
 

@@ -1,6 +1,7 @@
 package ric
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -107,8 +108,17 @@ func (x *XApp) nextRequestID() e2ap.RequestID {
 	return e2ap.RequestID{Requestor: x.requestor, Instance: x.instance}
 }
 
-// request performs one request/response E2 procedure against a node.
+// request performs one request/response E2 procedure against a node
+// under the platform's default timeout.
 func (p *Platform) request(nodeID string, msg *e2ap.Message) (*e2ap.Message, error) {
+	return p.requestCtx(context.Background(), nodeID, msg)
+}
+
+// requestCtx performs one request/response E2 procedure against a node.
+// The procedure is abandoned — its pending slot cleared, a late response
+// dropped — when ctx is done or the platform timeout elapses, whichever
+// comes first; a hung node therefore cannot wedge the caller.
+func (p *Platform) requestCtx(ctx context.Context, nodeID string, msg *e2ap.Message) (*e2ap.Message, error) {
 	p.mu.Lock()
 	node := p.nodes[nodeID]
 	if node == nil {
@@ -119,19 +129,25 @@ func (p *Platform) request(nodeID string, msg *e2ap.Message) (*e2ap.Message, err
 	p.pending[msg.RequestID] = ch
 	p.mu.Unlock()
 
-	if err := node.ep.Send(msg); err != nil {
+	abandon := func() {
 		p.mu.Lock()
 		delete(p.pending, msg.RequestID)
 		p.mu.Unlock()
+	}
+	if err := node.ep.Send(msg); err != nil {
+		abandon()
 		return nil, fmt.Errorf("ric: sending %s to %s: %w", msg.Type, nodeID, err)
 	}
+	timer := time.NewTimer(p.timeout)
+	defer timer.Stop()
 	select {
 	case resp := <-ch:
 		return resp, nil
-	case <-time.After(p.timeout):
-		p.mu.Lock()
-		delete(p.pending, msg.RequestID)
-		p.mu.Unlock()
+	case <-ctx.Done():
+		abandon()
+		return nil, fmt.Errorf("%s to %s: %w (%w)", msg.Type, nodeID, ErrTimeout, ctx.Err())
+	case <-timer.C:
+		abandon()
 		return nil, fmt.Errorf("%s to %s: %w", msg.Type, nodeID, ErrTimeout)
 	}
 }
@@ -204,10 +220,20 @@ func (s *Subscription) Delete() error {
 }
 
 // Control sends a RIC Control request (the closed-loop feedback primitive
-// of Figure 3) and waits for the acknowledgment.
+// of Figure 3) and waits for the acknowledgment under the platform's
+// default procedure timeout.
 func (x *XApp) Control(nodeID string, ranFunctionID uint16, header, message []byte) error {
+	return x.ControlContext(context.Background(), nodeID, ranFunctionID, header, message)
+}
+
+// ControlContext is Control with caller-supplied cancellation: the
+// request is abandoned when ctx is done (its deadline acts as a
+// per-request timeout tighter than the platform default), so a hung gNB
+// cannot wedge an issuing control loop. Timeouts and cancellations are
+// counted as control failures.
+func (x *XApp) ControlContext(ctx context.Context, nodeID string, ranFunctionID uint16, header, message []byte) error {
 	reqID := x.nextRequestID()
-	resp, err := x.platform.request(nodeID, &e2ap.Message{
+	resp, err := x.platform.requestCtx(ctx, nodeID, &e2ap.Message{
 		Type:           e2ap.TypeControlRequest,
 		RequestID:      reqID,
 		RANFunctionID:  ranFunctionID,

@@ -133,6 +133,15 @@ type Policy struct {
 	ReportPeriodMS int `json:"report_period_ms,omitempty"`
 	// AutoRespond enables closed-loop control without human approval.
 	AutoRespond bool `json:"auto_respond"`
+	// MitigationMode switches the mitigation engine between "off",
+	// "dry-run", and "enforce". Empty leaves the engine unchanged.
+	MitigationMode string `json:"mitigation_mode,omitempty"`
+	// DenyActions lists E2SM-XRC action classes (by their canonical
+	// names, e.g. "block-tmsi") the engine must never issue. A non-nil
+	// empty list clears a previous deny list.
+	DenyActions []string `json:"deny_actions,omitempty"`
+	// MitigationTTLMS overrides the rollback TTL for reversible actions.
+	MitigationTTLMS int `json:"mitigation_ttl_ms,omitempty"`
 	// UpdatedAt stamps the last change.
 	UpdatedAt time.Time `json:"updated_at"`
 }
