@@ -21,6 +21,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/nas"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/rrc"
 	"github.com/6g-xsec/xsec/internal/sdl"
 )
@@ -85,13 +86,18 @@ func (a *Analyzer) Stats() *Stats { return &a.stats }
 
 // Process runs expert referencing for one alert.
 func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
-	span := obs.StartSpan(obs.IndicationKey(alert.NodeID, alert.IndicationSN), "analyzer.process")
+	chainKey := obs.IndicationKey(alert.NodeID, alert.IndicationSN)
+	span := obs.StartSpan(chainKey, "analyzer.process")
 	defer span.End()
 	if !alert.ReceivedAt.IsZero() {
+		// The exemplar binds a latency bucket to the provenance chain of
+		// the slowest indication it holds, so a bad quantile in /metrics
+		// links straight to the /prov evidence behind it.
 		defer func() {
-			obsDetectLat.Observe(a.clock().Sub(alert.ReceivedAt).Seconds())
+			obsDetectLat.ObserveWithExemplar(a.clock().Sub(alert.ReceivedAt).Seconds(), chainKey)
 		}()
 	}
+	chain := prov.ChainID{Node: alert.NodeID, SN: alert.IndicationSN}
 	c := &Case{Alert: alert, ProcessedAt: a.clock()}
 	window := alert.Context
 	if len(window) == 0 {
@@ -107,10 +113,27 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 		obs.L().Warn("analyzer: LLM unusable, case escalated", "node", alert.NodeID, "err", err)
 		c.NeedsHuman = true
 		a.enqueueHuman(c, fmt.Sprintf("llm failure: %v", err))
+		prov.Record(prov.Event{
+			Chain: chain,
+			Kind:  prov.KindVerdict,
+			At:    c.ProcessedAt,
+			Label: "llm_failure",
+			Note:  err.Error(),
+		})
 		return c, nil
 	}
 	c.Analysis = analysis
 	c.Agree = analysis.Verdict == llm.VerdictAnomalous
+	ev := prov.Event{
+		Chain:  chain,
+		Kind:   prov.KindVerdict,
+		At:     c.ProcessedAt,
+		Digest: analysis.PromptDigest,
+		Model:  analysis.Model,
+		Label:  analysis.Verdict.String(),
+		Action: analysis.TopClass().String(),
+		Score:  analysis.Confidence,
+	}
 	if c.Agree {
 		a.stats.Agreements.Add(1)
 		obsCaseAgree.Inc()
@@ -122,7 +145,9 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 		obsCaseDisagree.Inc()
 		c.NeedsHuman = true
 		a.enqueueHuman(c, "detector/LLM disagreement")
+		ev.Note = "detector/LLM disagreement: escalated to human review"
 	}
+	prov.Record(ev)
 	return c, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/nas"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/ric"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/smo"
@@ -121,6 +122,9 @@ type Framework struct {
 	llmShutdown func() error
 	a1Cancel    func()
 
+	prov     *prov.Ledger
+	prevProv *prov.Ledger
+
 	obsAddr     string
 	obsShutdown func() error
 
@@ -137,6 +141,11 @@ type Framework struct {
 func New(opts Options) (*Framework, error) {
 	opts.defaults()
 	store := sdl.New()
+	// Install the SDL-backed provenance ledger before any pipeline
+	// goroutine starts, so every event of every chain is persisted and
+	// xsec-audit can reconstruct evidence after the run.
+	ledger := prov.New(prov.Options{Store: store})
+	prevLedger := prov.SetActive(ledger)
 	platform := ric.NewPlatform(store)
 
 	amf := corenet.NewAMF(opts.Seed + 1)
@@ -161,6 +170,8 @@ func New(opts Options) (*Framework, error) {
 		A1:       smo.NewA1(store),
 		cases:    make(chan *analyzer.Case, opts.CaseBuffer),
 		clock:    clock,
+		prov:     ledger,
+		prevProv: prevLedger,
 	}
 
 	if opts.MetricsAddr != "" {
@@ -412,6 +423,9 @@ func (f *Framework) Analyzer() *analyzer.Analyzer { return f.anlz }
 // deployed it).
 func (f *Framework) Mitigator() *mitigate.Engine { return f.mitigator }
 
+// Prov exposes the framework's provenance ledger.
+func (f *Framework) Prov() *prov.Ledger { return f.prov }
+
 // Close shuts everything down.
 func (f *Framework) Close() {
 	if f.a1Cancel != nil {
@@ -430,6 +444,14 @@ func (f *Framework) Close() {
 	}
 	if f.obsShutdown != nil {
 		f.obsShutdown()
+	}
+	// Pipeline goroutines are quiescent: route future events (from any
+	// other framework instance) back to the previous ledger, then drain
+	// ours so every persisted chain is complete.
+	if f.prov != nil {
+		prov.SetActive(f.prevProv)
+		f.prov.Close()
+		f.prov = nil
 	}
 }
 

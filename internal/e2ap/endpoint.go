@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/wire"
 )
 
@@ -35,7 +36,15 @@ func init() {
 type Endpoint struct {
 	conn    *wire.Conn
 	nextTxn atomic.Uint64
+	// nodeID, when set, attributes outbound indications to their
+	// emitting node so the transport hop joins the provenance chain.
+	nodeID atomic.Value // string
 }
+
+// SetNodeID names the E2 node this endpoint transmits for (the gNB
+// agent sets it before the setup handshake). Safe for concurrent use
+// with Send.
+func (ep *Endpoint) SetNodeID(id string) { ep.nodeID.Store(id) }
 
 // NewEndpoint wraps an established framed connection.
 func NewEndpoint(conn *wire.Conn) *Endpoint {
@@ -54,6 +63,15 @@ func (ep *Endpoint) Send(m *Message) error {
 	}
 	if m.Type < typeCount {
 		txByType[m.Type].Inc()
+	}
+	if m.Type == TypeIndication {
+		if n, ok := ep.nodeID.Load().(string); ok && n != "" {
+			prov.Record(prov.Event{
+				Chain: prov.ChainID{Node: n, SN: m.IndicationSN},
+				Kind:  prov.KindTransport,
+				Label: "sent",
+			})
+		}
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/e2ap"
 	"github.com/6g-xsec/xsec/internal/e2sm"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 )
 
 // Telemetry-emission counters, labeled by reporting node.
@@ -30,6 +31,7 @@ var (
 // ServeE2 blocks until the connection closes. Telemetry reporting is
 // single-consumer: concurrent report subscriptions share the drain.
 func (g *GNB) ServeE2(ep *e2ap.Endpoint) error {
+	ep.SetNodeID(g.cfg.NodeID)
 	if err := ep.Send(&e2ap.Message{
 		Type:   e2ap.TypeE2SetupRequest,
 		NodeID: g.cfg.NodeID,
@@ -167,6 +169,17 @@ func (a *e2Agent) report(reqID e2ap.RequestID, actionID uint16, period time.Dura
 			indications.Inc()
 			obs.RecordSpan(obs.IndicationKey(a.g.cfg.NodeID, batchSeq),
 				"gnb.report", reportStart, time.Now())
+			// Root of the evidence chain: what the node actually emitted,
+			// fingerprinted before the batch crosses any trust boundary.
+			prov.Record(prov.Event{
+				Chain:    prov.ChainID{Node: a.g.cfg.NodeID, SN: batchSeq},
+				Kind:     prov.KindEmit,
+				At:       reportStart,
+				SeqFirst: tr[0].Seq,
+				SeqLast:  tr[len(tr)-1].Seq,
+				Records:  uint32(len(tr)),
+				Digest:   prov.DigestRecords(tr),
+			})
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 )
 
 // LLM client observability: round-trip latency, request outcomes per
@@ -111,6 +112,7 @@ func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
 		return nil, err
 	}
 	analysis.Model = c.Model
+	analysis.PromptDigest = prov.DigestText(prompt)
 	obsRequests.With(c.Model, "ok").Inc()
 	obsVerdicts.With(analysis.Verdict.String()).Inc()
 	return analysis, nil

@@ -14,7 +14,11 @@
 // exactly what a production deployment pointing at a real endpoint runs.
 package llm
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/6g-xsec/xsec/internal/prov"
+)
 
 // Verdict is the analyst's binary decision for a sequence.
 type Verdict uint8
@@ -83,6 +87,10 @@ type Analysis struct {
 	Remediation []string
 	// Raw is the full response text from the model.
 	Raw string
+	// PromptDigest fingerprints the exact prompt the verdict answers, so
+	// the provenance ledger can bind verdict to evidence (set by
+	// Client.AnalyzePromptText).
+	PromptDigest prov.Digest
 }
 
 // TopClass returns the most likely attack class, or ClassUnknown for a

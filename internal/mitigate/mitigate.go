@@ -33,6 +33,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/e2sm"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/smo"
 )
@@ -201,6 +202,10 @@ type Entry struct {
 	// Digest summarizes the triggering window (seq range + FNV of the
 	// message names) so an auditor can match the journal to telemetry.
 	Digest string `json:"window_digest"`
+	// Chain is the provenance chain ID ("node/sn") of the E2 indication
+	// whose flagged window led to this action, joining the journal to
+	// the prov/ledger evidence chain. Empty for offline replays.
+	Chain string `json:"chain,omitempty"`
 	// Decision is the governor's call: "approved", "dry-run", or
 	// "suppressed:<reason>".
 	Decision string       `json:"decision"`
@@ -217,7 +222,8 @@ type action struct {
 	entry   Entry
 	req     *e2sm.ControlRequest
 	nodeID  string
-	verdict time.Time // latency epoch: when the LLM verdict landed
+	chain   prov.ChainID // evidence chain of the triggering indication
+	verdict time.Time    // latency epoch: when the LLM verdict landed
 	ttl     time.Duration
 }
 
@@ -334,9 +340,16 @@ func (e *Engine) Submit(c *analyzer.Case) *Entry {
 		return nil
 	}
 	e.nextID++
+	// Offline replays carry no indication identity; their chain stays
+	// empty and no provenance events are recorded for them.
+	var chain prov.ChainID
+	if c.Alert.NodeID != "" {
+		chain = prov.ChainID{Node: c.Alert.NodeID, SN: c.Alert.IndicationSN}
+	}
 	act := &action{
 		req:     c.Control,
 		nodeID:  nodeID,
+		chain:   chain,
 		verdict: c.ProcessedAt,
 		ttl:     e.ttl,
 		entry: Entry{
@@ -348,11 +361,13 @@ func (e *Engine) Submit(c *analyzer.Case) *Entry {
 			Class:   classOf(c),
 			Digest:  windowDigest(c.Alert.Window),
 			Mode:    e.mode.String(),
-			History: []Transition{{State: StateProposed.String(), At: now}},
-			State:   StateProposed.String(),
 		},
 	}
+	if chain.Node != "" {
+		act.entry.Chain = chain.String()
+	}
 	e.actions[act.entry.ID] = act
+	e.recordLocked(act, StateProposed, "", now)
 
 	reason, approved := e.governLocked(act, now)
 	var snapshot Entry
@@ -533,6 +548,22 @@ func (e *Engine) record(act *action, s State, note string) {
 func (e *Engine) recordLocked(act *action, s State, note string, at time.Time) {
 	act.entry.State = s.String()
 	act.entry.History = append(act.entry.History, Transition{State: s.String(), At: at, Note: note})
+	// Every lifecycle transition also joins the evidence chain of the
+	// indication that triggered the action (the journal stays the
+	// authoritative record; the ledger links it to its upstream cause).
+	if act.chain.Node != "" {
+		prov.Record(prov.Event{
+			Chain:    act.chain,
+			Kind:     prov.KindMitigation,
+			At:       at,
+			ActionID: act.entry.ID,
+			Action:   act.entry.Action,
+			Target:   act.entry.Target,
+			UEID:     act.req.UEID,
+			Label:    s.String(),
+			Note:     note,
+		})
+	}
 	if e.cfg.Store == nil {
 		return
 	}

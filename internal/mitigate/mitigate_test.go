@@ -16,6 +16,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/llm"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/smo"
 )
@@ -390,5 +391,67 @@ func TestWindowDigestStable(t *testing.T) {
 	}
 	if want := fmt.Sprintf("seq[3..4]n2"); !strings.HasPrefix(d1, want) {
 		t.Errorf("digest = %q", d1)
+	}
+}
+
+// TestEntryChainJoinsProvenance: every journaled action carries the
+// "node/sn" chain ID of the indication that triggered it, and the
+// lifecycle transitions land in the provenance ledger under that chain.
+func TestEntryChainJoinsProvenance(t *testing.T) {
+	ledger := prov.New(prov.Options{})
+	old := prov.SetActive(ledger)
+	defer func() { prov.SetActive(old).Close() }()
+
+	iss := &fakeIssuer{}
+	store := sdl.New()
+	e := New(Config{NodeID: "gnb-test", Issuer: iss, Store: store, Mode: ModeEnforce})
+	defer e.Close()
+
+	c := blockCase(0xF00D)
+	c.Alert.IndicationSN = 42
+	en := e.Submit(c)
+	if en == nil {
+		t.Fatal("submit rejected")
+	}
+	if en.Chain != "gnb-test/42" {
+		t.Fatalf("Entry.Chain = %q, want gnb-test/42", en.Chain)
+	}
+	waitFor(t, "issue", func() bool {
+		got, ok := entryByID(store, en.ID)
+		return ok && got.State != StateProposed.String() && got.State != StateApproved.String()
+	})
+	e.Quiesce()
+	ledger.Flush()
+
+	rec, ok := ledger.Chain(prov.ChainID{Node: "gnb-test", SN: 42})
+	if !ok {
+		t.Fatal("no provenance chain for the action")
+	}
+	states := map[string]bool{}
+	for _, ev := range rec.Events {
+		if ev.Kind != prov.KindMitigation {
+			t.Fatalf("unexpected event kind %v", ev.Kind)
+		}
+		if ev.ActionID != en.ID || ev.Action != "block-tmsi" {
+			t.Fatalf("mitigation event = %+v", ev)
+		}
+		states[ev.Label] = true
+	}
+	for _, want := range []string{"proposed", "approved", "issued"} {
+		if !states[want] {
+			t.Fatalf("lifecycle state %q missing from ledger (have %v)", want, states)
+		}
+	}
+
+	// Offline replays (no originating indication) journal without a chain
+	// and record nothing.
+	offline := blockCase(0xCAFE)
+	offline.Alert.NodeID = ""
+	en2 := e.Submit(offline)
+	if en2 == nil {
+		t.Fatal("offline submit rejected")
+	}
+	if en2.Chain != "" {
+		t.Fatalf("offline Entry.Chain = %q, want empty", en2.Chain)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/feature"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/ric"
 )
 
@@ -261,7 +262,23 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 	rt.flat = flat
 	rt.stats.WindowsScored.Add(1)
 	obsWindows.Inc()
-	if s := rt.models.ScoreAEWindowWith(rt.scratch, flat); s > rt.models.AEThreshold {
+	s := rt.models.ScoreAEWindowWith(rt.scratch, flat)
+	// Every scored window joins the evidence chain; prov.Record is a
+	// struct channel send, so the benign path stays allocation-free
+	// (consecutive benign windows coalesce writer-side).
+	prov.Record(prov.Event{
+		Chain:     prov.ChainID{Node: nodeID, SN: rt.batchSN},
+		Kind:      prov.KindWindow,
+		At:        rt.batchAt,
+		SeqFirst:  rt.recent[len(rt.recent)-N].Seq,
+		SeqLast:   rt.recent[len(rt.recent)-1].Seq,
+		Digest:    prov.DigestFloats(flat),
+		Model:     string(ModelAE),
+		Score:     s,
+		Threshold: rt.models.AEThreshold,
+		Flagged:   s > rt.models.AEThreshold,
+	})
+	if s > rt.models.AEThreshold {
 		obsAnomalyAE.Inc()
 		rt.raise(nodeID, rt.recent[len(rt.recent)-N:], s, rt.models.AEThreshold, ModelAE)
 	}
@@ -272,7 +289,20 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 		next := rt.vecs[n-1]
 		rt.stats.WindowsScored.Add(1)
 		obsWindows.Inc()
-		if s := rt.models.LSTM.ScoreWith(rt.scratch.LSTM, window, next); s > rt.models.LSTMThreshold {
+		s := rt.models.LSTM.ScoreWith(rt.scratch.LSTM, window, next)
+		prov.Record(prov.Event{
+			Chain:     prov.ChainID{Node: nodeID, SN: rt.batchSN},
+			Kind:      prov.KindWindow,
+			At:        rt.batchAt,
+			SeqFirst:  rt.recent[n-N-1].Seq,
+			SeqLast:   rt.recent[n-1].Seq,
+			Digest:    prov.NewDigest().Vecs(window).Floats(next),
+			Model:     string(ModelLSTM),
+			Score:     s,
+			Threshold: rt.models.LSTMThreshold,
+			Flagged:   s > rt.models.LSTMThreshold,
+		})
+		if s > rt.models.LSTMThreshold {
 			obsAnomalyLSTM.Inc()
 			rt.raise(nodeID, rt.recent[len(rt.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
 		}
@@ -306,14 +336,29 @@ func (rt *Runtime) raise(nodeID string, window mobiflow.Trace, score, threshold 
 	if !rt.batchAt.IsZero() {
 		obsFlagSeconds.ObserveSeconds(time.Since(rt.batchAt).Nanoseconds())
 	}
+	disposition := "raised"
 	select {
 	case rt.alerts <- alert:
 		rt.stats.AlertsRaised.Add(1)
 		obsAlertsRaised.Inc()
 	default:
+		disposition = "dropped"
 		rt.stats.AlertsDropped.Add(1)
 		obsAlertsDropped.Inc()
 		obs.L().Warn("mobiwatch: alert buffer full, alert dropped",
 			"node", nodeID, "model", string(model))
 	}
+	prov.Record(prov.Event{
+		Chain:     prov.ChainID{Node: nodeID, SN: rt.batchSN},
+		Kind:      prov.KindAlert,
+		At:        alert.At,
+		SeqFirst:  window[0].Seq,
+		SeqLast:   window[len(window)-1].Seq,
+		Digest:    prov.DigestRecords(window),
+		Model:     string(model),
+		Score:     score,
+		Threshold: threshold,
+		Flagged:   true,
+		Label:     disposition,
+	})
 }

@@ -140,6 +140,9 @@ func formatFloat(v float64) string {
 type BucketSnapshot struct {
 	LE    float64 `json:"le"` // +Inf encoded as the largest float
 	Count uint64  `json:"count"`
+	// Exemplar is the slowest observation the (non-cumulative) bucket
+	// has seen, when the series was fed via ObserveWithExemplar.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // SeriesSnapshot is one series' state, machine-readable — the benchmark
@@ -196,9 +199,11 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 				snap.Sum = m.Sum()
 				snap.Buckets = make([]BucketSnapshot, 0, len(cum))
 				for i, ub := range m.upper {
-					snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: ub, Count: cum[i]})
+					snap.Buckets = append(snap.Buckets,
+						BucketSnapshot{LE: ub, Count: cum[i], Exemplar: m.exemplar(i)})
 				}
-				snap.Buckets = append(snap.Buckets, BucketSnapshot{LE: math.MaxFloat64, Count: cum[len(cum)-1]})
+				snap.Buckets = append(snap.Buckets,
+					BucketSnapshot{LE: math.MaxFloat64, Count: cum[len(cum)-1], Exemplar: m.exemplar(len(m.upper))})
 			}
 			out = append(out, snap)
 		}

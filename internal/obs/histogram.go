@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram samples observations into fixed buckets. Observe is
@@ -21,20 +22,48 @@ type Histogram struct {
 	inf     atomic.Uint64
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+	// exemplars holds one exemplar per bucket (+Inf last): the slowest
+	// observation seen, annotated with its trace/chain key so a bad
+	// bucket links straight to a /prov evidence chain.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar annotates a histogram bucket with the identity of a notable
+// observation — in this stack, the provenance chain ID of the slowest
+// indication that landed in the bucket. Exemplars appear only in the
+// JSON Snapshot; the 0.0.4 text exposition has no syntax for them and
+// stays unchanged.
+type Exemplar struct {
+	Value float64   `json:"value"`
+	Label string    `json:"label"`
+	At    time.Time `json:"at"`
 }
 
 func newHistogram(upper []float64) *Histogram {
-	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Uint64, len(upper)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	// Linear scan: bucket lists are small (≤ ~20) and fixed, so this
-	// beats binary search and stays allocation-free.
+// bucket returns the index of the bucket v belongs to (len(upper) for
+// +Inf). Linear scan: bucket lists are small (≤ ~20) and fixed, so this
+// beats binary search and stays allocation-free.
+func (h *Histogram) bucket(v float64) int {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.observe(h.bucket(v), v)
+}
+
+func (h *Histogram) observe(i int, v float64) {
 	if i < len(h.counts) {
 		h.counts[i].Add(1)
 	} else {
@@ -48,6 +77,34 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records a sample and, when it is the largest the
+// bucket has seen, installs label as the bucket's exemplar (a CAS race
+// lost to a larger value keeps the larger one). The exemplar allocates
+// only when it replaces; call sites on the benign hot path should use
+// plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, label string) {
+	i := h.bucket(v)
+	h.observe(i, v)
+	for {
+		cur := h.exemplars[i].Load()
+		if cur != nil && cur.Value >= v {
+			return
+		}
+		e := &Exemplar{Value: v, Label: label, At: time.Now()}
+		if h.exemplars[i].CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// exemplar returns bucket i's exemplar, nil if none recorded.
+func (h *Histogram) exemplar(i int) *Exemplar {
+	if h.exemplars == nil || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // ObserveSeconds records a duration given in nanoseconds as seconds —

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveWithExemplarKeepsSlowest(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("xsec_test_exemplar_seconds", "help", []float64{1, 10}).With()
+
+	// Same bucket (le=1): the larger observation wins the exemplar.
+	h.ObserveWithExemplar(0.5, "gnb-001/1")
+	h.ObserveWithExemplar(0.9, "gnb-001/2")
+	h.ObserveWithExemplar(0.3, "gnb-001/3")
+	// Other buckets keep their own.
+	h.ObserveWithExemplar(5, "gnb-001/4")
+	h.ObserveWithExemplar(100, "gnb-001/5")
+
+	if e := h.exemplar(0); e == nil || e.Label != "gnb-001/2" || e.Value != 0.9 {
+		t.Fatalf("bucket 0 exemplar = %+v, want the 0.9 observation", e)
+	}
+	if e := h.exemplar(1); e == nil || e.Label != "gnb-001/4" {
+		t.Fatalf("bucket 1 exemplar = %+v", e)
+	}
+	if e := h.exemplar(2); e == nil || e.Label != "gnb-001/5" { // +Inf
+		t.Fatalf("+Inf exemplar = %+v", e)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5 (exemplar path must still observe)", h.Count())
+	}
+}
+
+func TestExemplarInSnapshotNotInText(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("xsec_test_exemplar_snap_seconds", "help", []float64{1}).With()
+	h.ObserveWithExemplar(0.5, "gnb-001/42")
+	h.Observe(0.1) // plain observations never install exemplars
+
+	var found *Exemplar
+	for _, s := range r.Snapshot() {
+		if s.Name != "xsec_test_exemplar_snap_seconds" {
+			continue
+		}
+		if len(s.Buckets) != 2 {
+			t.Fatalf("buckets = %+v", s.Buckets)
+		}
+		found = s.Buckets[0].Exemplar
+		if s.Buckets[1].Exemplar != nil {
+			t.Fatalf("+Inf bucket grew an exemplar: %+v", s.Buckets[1].Exemplar)
+		}
+	}
+	if found == nil || found.Label != "gnb-001/42" {
+		t.Fatalf("snapshot exemplar = %+v", found)
+	}
+
+	// The 0.0.4 text exposition has no exemplar syntax; the chain ID must
+	// not leak into /metrics.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "gnb-001/42") {
+		t.Fatalf("exemplar leaked into text exposition:\n%s", sb.String())
+	}
+}
+
+func TestPlainObserveNoExemplarNoAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("xsec_test_exemplar_alloc_seconds", "help", DefLatencyBuckets).With()
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.005) }); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per op", allocs)
+	}
+	if h.exemplar(h.bucket(0.005)) != nil {
+		t.Fatal("plain Observe installed an exemplar")
+	}
+	// Repeated ObserveWithExemplar at a value that never beats the
+	// incumbent is also allocation-free (CAS not taken).
+	h.ObserveWithExemplar(1, "winner")
+	if allocs := testing.AllocsPerRun(1000, func() { h.ObserveWithExemplar(0.5, "loser") }); allocs != 0 {
+		t.Fatalf("losing ObserveWithExemplar allocates %.1f per op", allocs)
+	}
+}

@@ -5,7 +5,26 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
+
+var (
+	extMu       sync.Mutex
+	extHandlers map[string]http.Handler
+)
+
+// Handle registers an extension endpoint mounted by every subsequent
+// NewHandler call (and by ListenAndServe). Packages layered above obs
+// (e.g. the provenance ledger's /prov) use it to join the observability
+// surface without introducing an import cycle.
+func Handle(pattern string, h http.Handler) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	if extHandlers == nil {
+		extHandlers = make(map[string]http.Handler)
+	}
+	extHandlers[pattern] = h
+}
 
 // NewHandler returns the observability endpoint for a registry and
 // tracer:
@@ -36,6 +55,11 @@ func NewHandler(reg *Registry, tr *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extMu.Lock()
+	for p, h := range extHandlers {
+		mux.Handle(p, h)
+	}
+	extMu.Unlock()
 	return mux
 }
 

@@ -26,11 +26,17 @@ func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
 type Tracer struct {
 	clock func() time.Time
 
-	mu   sync.Mutex
-	buf  []Span
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	evicted uint64
 }
+
+// traceEvicted counts ring-buffer overwrites across every tracer, so
+// operators can tell when /traces is lying by omission.
+var traceEvicted = NewCounter("xsec_trace_evicted_total",
+	"Spans overwritten (evicted) from trace ring buffers before being read.")
 
 // NewTracer returns a tracer retaining up to capacity finished spans.
 func NewTracer(capacity int) *Tracer {
@@ -43,9 +49,14 @@ func NewTracer(capacity int) *Tracer {
 // setClock injects a clock (tests).
 func (t *Tracer) setClock(clock func() time.Time) { t.clock = clock }
 
-// Record stores a finished span.
+// Record stores a finished span, evicting the oldest one once the ring
+// is full (evictions are counted — see Evicted).
 func (t *Tracer) Record(s Span) {
 	t.mu.Lock()
+	if t.full {
+		t.evicted++
+		traceEvicted.Inc()
+	}
 	t.buf[t.next] = s
 	t.next++
 	if t.next == len(t.buf) {
@@ -53,6 +64,13 @@ func (t *Tracer) Record(s Span) {
 		t.full = true
 	}
 	t.mu.Unlock()
+}
+
+// Evicted reports how many spans this tracer has overwritten.
+func (t *Tracer) Evicted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
 }
 
 // ActiveSpan is an in-flight span; End records it.

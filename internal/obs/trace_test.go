@@ -63,3 +63,51 @@ func TestIndicationKey(t *testing.T) {
 		t.Fatalf("key = %q", k)
 	}
 }
+
+func TestTracerByKeyAfterEviction(t *testing.T) {
+	tr := NewTracer(3)
+	tr.Record(Span{Key: "a/1", Stage: "gnb.report"})
+	tr.Record(Span{Key: "a/2", Stage: "gnb.report"})
+	tr.Record(Span{Key: "a/1", Stage: "ric.route"})
+	tr.Record(Span{Key: "a/3", Stage: "gnb.report"}) // evicts a/1 "gnb.report"
+
+	got := tr.ByKey("a/1")
+	if len(got) != 1 || got[0].Stage != "ric.route" {
+		t.Fatalf("ByKey after eviction = %+v, want only the surviving ric.route span", got)
+	}
+	if got := tr.ByKey("a/2"); len(got) != 1 {
+		t.Fatalf("unevicted key lost: %+v", got)
+	}
+}
+
+func TestTracerLenAtCapacity(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 16; i++ {
+		tr.Record(Span{Key: IndicationKey("n", uint64(i)), Stage: "s"})
+		if want := i + 1; want > 4 {
+			want = 4
+		} else if tr.Len() != want {
+			t.Fatalf("Len after %d records = %d, want %d", i+1, tr.Len(), want)
+		}
+		if tr.Len() > 4 {
+			t.Fatalf("Len = %d exceeds capacity", tr.Len())
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len at capacity = %d, want 4", tr.Len())
+	}
+}
+
+func TestTracerEvictedCounter(t *testing.T) {
+	tr := NewTracer(2)
+	before := traceEvicted.Value()
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Key: "k", Stage: "s"})
+	}
+	if tr.Evicted() != 3 {
+		t.Fatalf("Evicted = %d, want 3", tr.Evicted())
+	}
+	if got := traceEvicted.Value() - before; got != 3 {
+		t.Fatalf("xsec_trace_evicted_total advanced by %d, want 3", got)
+	}
+}

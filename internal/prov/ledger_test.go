@@ -1,0 +1,269 @@
+package prov
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+var testClock = func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+
+func TestLedgerCoalescesBenignWindows(t *testing.T) {
+	store := sdl.New()
+	l := New(Options{Store: store, Clock: testClock})
+	defer l.Close()
+
+	id := ChainID{Node: "gnb-001", SN: 7}
+	for i := 0; i < 5; i++ {
+		l.Record(Event{
+			Chain:    id,
+			Kind:     KindWindow,
+			SeqFirst: uint64(i + 1),
+			SeqLast:  uint64(i + 4),
+			Digest:   DigestFloats([]float64{float64(i)}),
+			Model:    "autoencoder",
+			Score:    0.1 * float64(i%3), // max is 0.2, at i=2
+		})
+	}
+	l.Flush()
+
+	rec, ok := l.Chain(id)
+	if !ok {
+		t.Fatal("chain missing")
+	}
+	if len(rec.Events) != 1 {
+		t.Fatalf("benign run produced %d events, want 1 coalesced", len(rec.Events))
+	}
+	ev := rec.Events[0]
+	if ev.Count != 5 {
+		t.Fatalf("Count = %d, want 5", ev.Count)
+	}
+	if ev.Score != 0.2 {
+		t.Fatalf("Score = %v, want max 0.2", ev.Score)
+	}
+	if ev.SeqLast != 8 || ev.Digest != DigestFloats([]float64{4}) {
+		t.Fatalf("coalesced event does not track the latest window: %+v", ev)
+	}
+	// The SDL holds exactly one key for the chain: the coalesced event is
+	// overwritten in place, not appended.
+	if keys := store.Keys(Namespace, keyPrefix(id)); len(keys) != 1 {
+		t.Fatalf("SDL keys = %v, want 1", keys)
+	}
+}
+
+func TestLedgerFlaggedBreaksCoalescing(t *testing.T) {
+	l := New(Options{Clock: testClock})
+	defer l.Close()
+	id := ChainID{Node: "n", SN: 1}
+
+	l.Record(Event{Chain: id, Kind: KindWindow, Model: "autoencoder", Score: 0.1})
+	l.Record(Event{Chain: id, Kind: KindWindow, Model: "autoencoder", Score: 5, Flagged: true})
+	l.Record(Event{Chain: id, Kind: KindWindow, Model: "autoencoder", Score: 0.1})
+	l.Record(Event{Chain: id, Kind: KindWindow, Model: "lstm", Score: 0.1}) // model switch
+	l.Flush()
+
+	rec, _ := l.Chain(id)
+	if len(rec.Events) != 4 {
+		t.Fatalf("got %d events, want 4 (flagged and model switches never merge): %+v", len(rec.Events), rec.Events)
+	}
+	if !rec.Events[1].Flagged || rec.Events[1].Score != 5 {
+		t.Fatalf("flagged event mangled: %+v", rec.Events[1])
+	}
+}
+
+func TestLedgerPersistenceParity(t *testing.T) {
+	store := sdl.New()
+	l := New(Options{Store: store, Clock: testClock})
+	defer l.Close()
+	id := ChainID{Node: "gnb-001", SN: 42}
+
+	l.Record(Event{Chain: id, Kind: KindEmit, Records: 12, SeqFirst: 1, SeqLast: 12, Digest: 0xabcd})
+	l.Record(Event{Chain: id, Kind: KindIndication, Label: "routed"})
+	l.Record(Event{Chain: id, Kind: KindWindow, Model: "autoencoder", Score: 3.2, Threshold: 1.1, Flagged: true})
+	l.Record(Event{Chain: id, Kind: KindVerdict, Label: "anomalous", Action: "bts-dos", Score: 0.9})
+	l.Record(Event{Chain: id, Kind: KindMitigation, ActionID: 3, Action: "release-ue", Label: "issued", UEID: 901})
+	l.Flush()
+
+	mem, ok := l.Chain(id)
+	if !ok {
+		t.Fatal("chain missing from memory")
+	}
+	disk, err := ReadChain(store, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disk.Events) != len(mem.Events) {
+		t.Fatalf("disk %d events, memory %d", len(disk.Events), len(mem.Events))
+	}
+	for i := range mem.Events {
+		if disk.Events[i] != mem.Events[i] {
+			t.Fatalf("event %d diverges:\n  disk   %+v\n  memory %+v", i, disk.Events[i], mem.Events[i])
+		}
+	}
+}
+
+func TestLedgerEvictionBoundsRetentionAndCleansSDL(t *testing.T) {
+	store := sdl.New()
+	l := New(Options{Store: store, MaxChains: 2, Clock: testClock})
+	defer l.Close()
+
+	for sn := uint64(1); sn <= 3; sn++ {
+		l.Record(Event{Chain: ChainID{Node: "n", SN: sn}, Kind: KindEmit})
+	}
+	l.Flush()
+
+	if got := l.ChainCount(); got != 2 {
+		t.Fatalf("ChainCount = %d, want 2", got)
+	}
+	if got := l.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+	if _, ok := l.Chain(ChainID{Node: "n", SN: 1}); ok {
+		t.Fatal("oldest chain still in memory")
+	}
+	// Eviction deletes the persisted keys too.
+	if keys := store.Keys(Namespace, keyPrefix(ChainID{Node: "n", SN: 1})); len(keys) != 0 {
+		t.Fatalf("evicted chain keys remain: %v", keys)
+	}
+	if _, ok := l.Chain(ChainID{Node: "n", SN: 3}); !ok {
+		t.Fatal("newest chain lost")
+	}
+}
+
+func TestLedgerTruncatesLongChains(t *testing.T) {
+	l := New(Options{MaxEventsPerChain: 3, Clock: testClock})
+	defer l.Close()
+	id := ChainID{Node: "n", SN: 1}
+	for i := 0; i < 6; i++ {
+		l.Record(Event{Chain: id, Kind: KindWindow, Model: "autoencoder", Score: float64(i), Flagged: true})
+	}
+	l.Flush()
+	rec, _ := l.Chain(id)
+	if len(rec.Events) != 3 || !rec.Truncated {
+		t.Fatalf("events = %d, truncated = %v; want 3, true", len(rec.Events), rec.Truncated)
+	}
+}
+
+// TestLedgerDropsWhenFull uses an unstarted writer so the buffer fills
+// deterministically.
+func TestLedgerDropsWhenFull(t *testing.T) {
+	l := newLedger(Options{Buffer: 2})
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Chain: ChainID{Node: "n", SN: 1}, Kind: KindEmit})
+	}
+	if got := l.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestLedgerRecordAfterCloseDropsWithoutPanic(t *testing.T) {
+	l := New(Options{})
+	l.Close()
+	l.Record(Event{Chain: ChainID{Node: "n", SN: 1}})
+	if l.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", l.Dropped())
+	}
+	l.Flush() // must not hang after Close
+	l.Close() // idempotent
+}
+
+// TestLedgerRecordNoAllocs is the hot-path contract: recording a benign
+// window — the overwhelmingly common case on the scoring path — performs
+// zero allocations, like the obs fast paths.
+func TestLedgerRecordNoAllocs(t *testing.T) {
+	l := New(Options{})
+	defer l.Close()
+	w := []float64{0.25, 0.5, 0.75, 1}
+	ev := Event{
+		Chain:     ChainID{Node: "gnb-001", SN: 9},
+		Kind:      KindWindow,
+		Model:     "autoencoder",
+		Score:     0.01,
+		Threshold: 1.5,
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev.Digest = DigestFloats(w)
+		l.Record(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("benign Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestLedgerConcurrentRecordAndQuery(t *testing.T) {
+	store := sdl.New()
+	l := New(Options{Store: store, MaxChains: 16})
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Record(Event{
+					Chain: ChainID{Node: fmt.Sprintf("gnb-%03d", g), SN: uint64(i % 8)},
+					Kind:  Kind(i % int(kindCount)),
+					Model: "autoencoder",
+					Score: float64(i),
+				})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // concurrent in-memory queries
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, c := range l.Select(Query{Label: "routed"}) {
+				_ = c.Has(KindWindow)
+			}
+			l.ChainCount()
+		}
+	}()
+	wg.Add(1)
+	go func() { // concurrent SDL scans, as a live /prov reader would
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, id := range StoredChains(store) {
+				_, _ = ReadChain(store, id)
+			}
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	l.Flush()
+	if l.ChainCount() == 0 {
+		t.Fatal("no chains retained after concurrent load")
+	}
+	if l.ChainCount() > 16 {
+		t.Fatalf("ChainCount = %d exceeds MaxChains", l.ChainCount())
+	}
+}
+
+func TestActiveLedgerSwap(t *testing.T) {
+	repl := New(Options{})
+	old := SetActive(repl)
+	defer func() { SetActive(old).Close() }()
+
+	Record(Event{Chain: ChainID{Node: "n", SN: 5}, Kind: KindEmit})
+	repl.Flush()
+	if _, ok := repl.Chain(ChainID{Node: "n", SN: 5}); !ok {
+		t.Fatal("package Record did not reach the active ledger")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/6g-xsec/xsec/internal/e2ap"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/sdl"
 	"github.com/6g-xsec/xsec/internal/wire"
 )
@@ -250,6 +251,12 @@ func (p *Platform) route(node *nodeConn, msg *e2ap.Message) {
 		if sub == nil {
 			p.metrics.IndicationsDropped.Add(1)
 			obsUnmatched.Inc()
+			prov.Record(prov.Event{
+				Chain: prov.ChainID{Node: node.info.NodeID, SN: msg.IndicationSN},
+				Kind:  prov.KindIndication,
+				At:    p.clock(),
+				Label: "unmatched",
+			})
 			obs.L().Debug("ric: indication without subscription dropped",
 				"node", node.info.NodeID, "request", msg.RequestID)
 			return
@@ -263,10 +270,12 @@ func (p *Platform) route(node *nodeConn, msg *e2ap.Message) {
 			Message:    msg.IndicationMessage,
 			ReceivedAt: p.clock(),
 		}
+		routeLabel := "routed"
 		if sub.deliver(ind) {
 			p.metrics.IndicationsRouted.Add(1)
 			sub.obsRouted.Inc()
 		} else {
+			routeLabel = "dropped"
 			// The xApp's buffer is full: the loss is counted per xApp
 			// and logged so backpressure is visible, not silent.
 			p.metrics.IndicationsDropped.Add(1)
@@ -276,6 +285,12 @@ func (p *Platform) route(node *nodeConn, msg *e2ap.Message) {
 		}
 		obs.RecordSpan(obs.IndicationKey(node.info.NodeID, msg.IndicationSN),
 			"ric.route", ind.ReceivedAt, p.clock())
+		prov.Record(prov.Event{
+			Chain: prov.ChainID{Node: node.info.NodeID, SN: msg.IndicationSN},
+			Kind:  prov.KindIndication,
+			At:    ind.ReceivedAt,
+			Label: routeLabel,
+		})
 	case e2ap.TypeSubscriptionResponse, e2ap.TypeSubscriptionFailure,
 		e2ap.TypeSubscriptionDeleteResponse,
 		e2ap.TypeControlAck, e2ap.TypeControlFailure:

@@ -201,3 +201,65 @@ func BenchmarkGet(b *testing.B) {
 		s.Get("ns", "key")
 	}
 }
+
+// TestConcurrentProvenanceNamespace mirrors the provenance ledger's
+// access pattern on its SDL namespace: writers appending and overwriting
+// zero-padded event keys plus deleting whole chains (retention), racing
+// readers doing the prefix scans /prov and xsec-audit issue.
+func TestConcurrentProvenanceNamespace(t *testing.T) {
+	const ns = "prov/ledger"
+	s := New()
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for sn := 0; sn < 20; sn++ {
+				prefix := fmt.Sprintf("ev/gnb-%03d/%020d/", g, sn)
+				for idx := 0; idx < 4; idx++ {
+					s.Set(ns, fmt.Sprintf("%s%04d", prefix, idx), []byte(`{"kind":"window"}`))
+				}
+				s.Set(ns, prefix+"0000", []byte(`{"kind":"window","count":2}`)) // coalesce overwrite
+				if sn%10 == 9 {
+					// Retention: evict the chain persisted 10 rounds ago.
+					for _, k := range s.Keys(ns, fmt.Sprintf("ev/gnb-%03d/%020d/", g, sn-9)) {
+						s.Delete(ns, k)
+					}
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k, v := range s.GetAll(ns, "ev/") {
+					if len(v) == 0 {
+						t.Errorf("empty value at %s", k)
+						return
+					}
+				}
+				s.Len(ns)
+			}
+		}()
+	}
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Each writer persisted 20 chains of 4 events and evicted 2 (sn 0
+	// and 10, deleted when sn 9 and 19 landed).
+	want := 4 * 18 * 4
+	if got := s.Len(ns); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+}
