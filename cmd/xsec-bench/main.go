@@ -12,6 +12,8 @@
 //	xsec-bench -obs                 # live-pipeline metrics baseline → BENCH_obs.json
 //	xsec-bench -mitigate            # closed-loop mitigation baseline → BENCH_mitigate.json
 //	xsec-bench -prov                # provenance ledger baseline → BENCH_prov.json
+//	xsec-bench -ingest              # telemetry ingest baseline → BENCH_ingest.json
+//	xsec-bench -ingest -smoke       # reduced ingest workload (CI path check)
 package main
 
 import (
@@ -24,17 +26,19 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate a table (1, 2, or 3)")
-		figure    = flag.Int("figure", 0, "regenerate a figure (2, 4, or 5)")
-		ablation  = flag.String("ablation", "", "run an ablation: window | threshold | bottleneck | rag")
-		all       = flag.Bool("all", false, "regenerate every artifact")
-		quick     = flag.Bool("quick", false, "use the reduced configuration")
-		seed      = flag.Int64("seed", 1, "experiment seed")
-		nnBench   = flag.Bool("nn", false, "measure the NN hot paths and write the machine-readable baseline")
-		obsBench  = flag.Bool("obs", false, "run the live pipeline and snapshot the observability registry")
-		mitBench  = flag.Bool("mitigate", false, "measure the closed mitigation loop under the DoS attacks")
-		provBench = flag.Bool("prov", false, "measure provenance ledger overhead and chain reconstruction")
-		outPath   = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
+		table       = flag.Int("table", 0, "regenerate a table (1, 2, or 3)")
+		figure      = flag.Int("figure", 0, "regenerate a figure (2, 4, or 5)")
+		ablation    = flag.String("ablation", "", "run an ablation: window | threshold | bottleneck | rag")
+		all         = flag.Bool("all", false, "regenerate every artifact")
+		quick       = flag.Bool("quick", false, "use the reduced configuration")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		nnBench     = flag.Bool("nn", false, "measure the NN hot paths and write the machine-readable baseline")
+		obsBench    = flag.Bool("obs", false, "run the live pipeline and snapshot the observability registry")
+		mitBench    = flag.Bool("mitigate", false, "measure the closed mitigation loop under the DoS attacks")
+		provBench   = flag.Bool("prov", false, "measure provenance ledger overhead and chain reconstruction")
+		ingestBench = flag.Bool("ingest", false, "measure the telemetry ingest path, scaled vs unsharded baseline")
+		smoke       = flag.Bool("smoke", false, "shrink the ingest workload so CI exercises the path quickly")
+		outPath     = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
 	)
 	flag.Parse()
 
@@ -94,6 +98,20 @@ func main() {
 		out := *outPath
 		if out == "" {
 			out = "BENCH_mitigate.json"
+		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
+		return
+	}
+	if *ingestBench {
+		res, err := bench.RunIngestBench(bench.IngestOptions{Smoke: *smoke})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		out := *outPath
+		if out == "" {
+			out = "BENCH_ingest.json"
 		}
 		data, err := res.JSON()
 		writeBaseline(res.Format(), data, err, out)

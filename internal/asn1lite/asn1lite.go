@@ -64,6 +64,19 @@ func Marshal(m Marshaler) []byte {
 	return e.Bytes()
 }
 
+// AppendMarshal appends m's encoding to dst and returns the extended
+// slice. It is the buffer-reusing alternative to Marshal for hot paths:
+// once dst has grown to steady-state capacity, the encode itself
+// allocates nothing (the Encoder may still escape through the interface
+// call; callers needing a strict zero-alloc guarantee should hold a
+// long-lived Encoder or use a package-level helper with a concrete
+// MarshalTLV call, as e2ap.AppendEncode does).
+func AppendMarshal(dst []byte, m Marshaler) []byte {
+	e := NewEncoder(dst)
+	m.MarshalTLV(&e)
+	return e.buf
+}
+
 // Unmarshal decodes data into m.
 func Unmarshal(data []byte, m Unmarshaler) error {
 	d := NewDecoder(data)
@@ -73,7 +86,16 @@ func Unmarshal(data []byte, m Unmarshaler) error {
 // An Encoder builds a TLV byte sequence. The zero value is ready to use.
 type Encoder struct {
 	buf []byte
+	// child is the nested encoder reused across PutNested calls, so
+	// SEQUENCE-typed fields stop costing one Encoder + buffer per call
+	// once the deepest nesting level has been visited.
+	child *Encoder
 }
+
+// NewEncoder returns an Encoder that appends to buf (which may be nil).
+// Returning a value (not a pointer) lets callers keep the encoder on the
+// stack for allocation-free append-style encoding.
+func NewEncoder(buf []byte) Encoder { return Encoder{buf: buf} }
 
 // Bytes returns the encoded sequence. The returned slice aliases the
 // encoder's buffer; it remains valid until the next Put call.
@@ -135,11 +157,20 @@ func (e *Encoder) PutBytes(tag uint32, b []byte) {
 }
 
 // PutNested appends a nested TLV sequence produced by fn. It is the
-// encoding used for SEQUENCE-typed fields.
+// encoding used for SEQUENCE-typed fields. The nested encoder is reused
+// across calls (detached while fn runs, so re-entrant use of e inside fn
+// stays correct), making repeated SEQUENCE fields allocation-free after
+// the first call.
 func (e *Encoder) PutNested(tag uint32, fn func(*Encoder)) {
-	var inner Encoder
-	fn(&inner)
+	inner := e.child
+	e.child = nil
+	if inner == nil {
+		inner = new(Encoder)
+	}
+	inner.Reset()
+	fn(inner)
 	e.PutBytes(tag, inner.buf)
+	e.child = inner
 }
 
 // PutMessage appends a nested field holding m's encoding.
@@ -174,6 +205,14 @@ type Decoder struct {
 // data; callers must not mutate it during decoding.
 func NewDecoder(data []byte) *Decoder {
 	return &Decoder{data: data}
+}
+
+// Reset repoints the decoder at data and clears all iteration state, so a
+// long-lived (stack- or pool-held) decoder can be reused across messages
+// without reallocating. The zero Decoder is also valid; Reset makes it
+// read data.
+func (d *Decoder) Reset(data []byte) {
+	*d = Decoder{data: data}
 }
 
 // Next advances to the next field. It returns false at end of input or on

@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// This file produces the ingest-path baseline (BENCH_ingest.json,
+// `xsec-bench -ingest`): throughput and latency of the telemetry path
+// from gNB-side indication encode, through E2AP decode and dispatch, to
+// per-record SDL persistence — the tier upstream of NN scoring. Two
+// modes run over identical record streams in the same process:
+//
+//   - baseline: the pre-scaling stack — allocating header/message/E2AP
+//     encode per indication, allocating E2AP decode, a single dispatch
+//     queue, fmt-rendered SDL keys, and copying single-shard SDL writes.
+//   - scaled: the current stack — reused encoders and AppendEncode (zero
+//     emit allocations), DecodeInto with a reused Message, UE-keyed
+//     shard queues, manually rendered keys, batch-decoding into a reused
+//     record slice, and owned-value writes to the lock-striped SDL.
+//
+// The speedup is per-op cost, so it holds on one core; extra cores widen
+// it by letting shard queues and SDL stripes actually run in parallel.
+
+// IngestOptions configures the ingest benchmark.
+type IngestOptions struct {
+	// GNBCounts are the simulated fleet sizes (default 1, 4, 16).
+	GNBCounts []int
+	// IndicationsPerGNB is the workload per simulated gNB (default
+	// 20000; Smoke reduces it).
+	IndicationsPerGNB int
+	// RecordsPerIndication is the batch size each indication carries
+	// (default 4, a typical per-UE chunk under the agent's flush policy).
+	RecordsPerIndication int
+	// UEs is the number of UE contexts cycled per gNB (default 8).
+	UEs int
+	// SDLShards and DispatchShards size the scaled mode's partitions
+	// (defaults: the package defaults, 16 and 4).
+	SDLShards, DispatchShards int
+	// Retention bounds how many telemetry keys each gNB keeps live in
+	// the SDL (default 4096): persisted keys wrap modulo this count,
+	// modeling the TTL-bounded retention of a production store so both
+	// modes measure steady-state insert cost rather than unbounded map
+	// growth.
+	Retention int
+	// Repetitions runs each mode × fleet-size cell several times and
+	// keeps the fastest run (default 3; 1 under Smoke), damping GC and
+	// scheduler noise.
+	Repetitions int
+	// Smoke shrinks the workload so CI can exercise the path quickly.
+	Smoke bool
+}
+
+func (o *IngestOptions) defaults() {
+	if len(o.GNBCounts) == 0 {
+		o.GNBCounts = []int{1, 4, 16}
+	}
+	if o.IndicationsPerGNB == 0 {
+		o.IndicationsPerGNB = 20000
+	}
+	if o.Smoke {
+		o.IndicationsPerGNB = 500
+		o.GNBCounts = []int{1, 4}
+	}
+	if o.RecordsPerIndication == 0 {
+		o.RecordsPerIndication = 4
+	}
+	if o.UEs == 0 {
+		o.UEs = 8
+	}
+	if o.SDLShards == 0 {
+		o.SDLShards = sdl.DefaultShards
+	}
+	if o.DispatchShards == 0 {
+		o.DispatchShards = 4
+	}
+	if o.Retention == 0 {
+		o.Retention = 4096
+	}
+	if o.Repetitions == 0 {
+		o.Repetitions = 3
+		if o.Smoke {
+			o.Repetitions = 1
+		}
+	}
+}
+
+// IngestRun is one measured mode × fleet-size combination.
+type IngestRun struct {
+	Mode              string  `json:"mode"`
+	GNBs              int     `json:"gnbs"`
+	Indications       uint64  `json:"indications"`
+	Records           uint64  `json:"records"`
+	Seconds           float64 `json:"seconds"`
+	IndicationsPerSec float64 `json:"indications_per_sec"`
+	RecordsPerSec     float64 `json:"records_per_sec"`
+	AllocsPerInd      float64 `json:"allocs_per_indication"`
+	P50LatencyUs      float64 `json:"p50_latency_us"`
+	P99LatencyUs      float64 `json:"p99_latency_us"`
+}
+
+// IngestResult is the machine-readable baseline for BENCH_ingest.json.
+type IngestResult struct {
+	GoMaxProcs           int         `json:"gomaxprocs"`
+	NumCPU               int         `json:"num_cpu"`
+	Smoke                bool        `json:"smoke"`
+	RecordsPerIndication int         `json:"records_per_indication"`
+	IndicationsPerGNB    int         `json:"indications_per_gnb"`
+	SDLShards            int         `json:"sdl_shards"`
+	DispatchShards       int         `json:"dispatch_shards"`
+	Runs                 []IngestRun `json:"runs"`
+	// SpeedupSingleGNB is scaled / baseline indications-per-second at
+	// one gNB — the headline per-op win of the ingest rebuild.
+	SpeedupSingleGNB float64 `json:"speedup_single_gnb"`
+}
+
+// ingestRecords builds one gNB's record template; emitters restamp Seq,
+// UEID, and Timestamp per batch so every indication is distinct.
+func ingestRecords(n int) mobiflow.Trace {
+	tr := make(mobiflow.Trace, n)
+	for i := range tr {
+		tr[i] = mobiflow.Record{
+			Msg:   "RRCSetupRequest",
+			Layer: mobiflow.LayerRRC,
+			RNTI:  0x4601,
+		}
+	}
+	return tr
+}
+
+// dispatchItem models the routed indication handed across the dispatch
+// queue (the bench drains it synchronously; queue cost, not queueing
+// delay, is what the per-op comparison needs).
+type dispatchItem struct {
+	ue     uint64
+	header []byte
+	msg    []byte
+}
+
+// runIngestBaseline drives the pre-scaling ingest stack.
+func runIngestBaseline(opts IngestOptions, gnbs int) IngestRun {
+	store := sdl.NewWithOptions(sdl.Options{Shards: 1})
+	queue := make(chan dispatchItem, 1)
+	var queueMu sync.Mutex // single routing path: one queue, one lock
+
+	latencies := make([][]int64, gnbs)
+	var wg sync.WaitGroup
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for g := 0; g < gnbs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := fmt.Sprintf("gnb-%03d", g)
+			batch := ingestRecords(opts.RecordsPerIndication)
+			lats := make([]int64, 0, opts.IndicationsPerGNB)
+			var seq uint64
+			for i := 0; i < opts.IndicationsPerGNB; i++ {
+				t0 := time.Now()
+				ue := uint64(i%opts.UEs) + 1
+				for r := range batch {
+					seq++
+					batch[r].Seq, batch[r].UEID, batch[r].Timestamp = seq, ue, t0
+				}
+				// Emit: every stage allocates its output.
+				hdr := asn1lite.Marshal(&e2sm.IndicationHeader{
+					NodeID: node, CollectionStart: t0, BatchSeq: uint64(i + 1), UEID: ue,
+				})
+				payload := mobiflow.EncodeTrace(batch)
+				frame := e2ap.Encode(&e2ap.Message{
+					Type:              e2ap.TypeIndication,
+					RequestID:         e2ap.RequestID{Requestor: 1, Instance: 1},
+					ActionID:          1,
+					IndicationSN:      uint64(i + 1),
+					IndicationHeader:  hdr,
+					IndicationMessage: payload,
+				})
+				// E2 Termination: allocating decode, single routing queue.
+				m, err := e2ap.Decode(frame)
+				if err != nil {
+					panic(err)
+				}
+				queueMu.Lock()
+				queue <- dispatchItem{ue: ue, header: m.IndicationHeader, msg: m.IndicationMessage}
+				it := <-queue
+				queueMu.Unlock()
+				// xApp ingest: fresh trace slice, fmt keys, re-encoded
+				// records, copying writes.
+				tr, err := mobiflow.DecodeTrace(it.msg)
+				if err != nil {
+					panic(err)
+				}
+				for r := range tr {
+					store.Set("mobiflow",
+						fmt.Sprintf("%s/%020d", node, tr[r].Seq%uint64(opts.Retention)),
+						mobiflow.Encode(&tr[r]))
+				}
+				lats = append(lats, time.Since(t0).Nanoseconds())
+			}
+			latencies[g] = lats
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return summarizeIngest("baseline", opts, gnbs, elapsed, ms1.Mallocs-ms0.Mallocs, latencies)
+}
+
+// runIngestScaled drives the rebuilt ingest stack.
+func runIngestScaled(opts IngestOptions, gnbs int) IngestRun {
+	store := sdl.NewWithOptions(sdl.Options{Shards: opts.SDLShards})
+	queues := make([]chan dispatchItem, opts.DispatchShards)
+	locks := make([]sync.Mutex, opts.DispatchShards)
+	for i := range queues {
+		queues[i] = make(chan dispatchItem, 1)
+	}
+
+	latencies := make([][]int64, gnbs)
+	var wg sync.WaitGroup
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for g := 0; g < gnbs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := fmt.Sprintf("gnb-%03d", g)
+			batch := ingestRecords(opts.RecordsPerIndication)
+			lats := make([]int64, 0, opts.IndicationsPerGNB)
+			// Long-lived per-stream state, as in the agent and the
+			// sharded xApp workers.
+			var hdrEnc, msgEnc asn1lite.Encoder
+			var frame, keyBuf []byte
+			var msg e2ap.Message
+			var tr mobiflow.Trace
+			var seq uint64
+			for i := 0; i < opts.IndicationsPerGNB; i++ {
+				t0 := time.Now()
+				ue := uint64(i%opts.UEs) + 1
+				for r := range batch {
+					seq++
+					batch[r].Seq, batch[r].UEID, batch[r].Timestamp = seq, ue, t0
+				}
+				// Emit: reused encoders, zero-alloc E2AP marshal.
+				hdr := e2sm.IndicationHeader{
+					NodeID: node, CollectionStart: t0, BatchSeq: uint64(i + 1), UEID: ue,
+				}
+				hdrEnc.Reset()
+				hdr.MarshalTLV(&hdrEnc)
+				msgEnc.Reset()
+				mobiflow.AppendTrace(&msgEnc, batch)
+				frame = e2ap.AppendEncode(frame[:0], &e2ap.Message{
+					Type:              e2ap.TypeIndication,
+					RequestID:         e2ap.RequestID{Requestor: 1, Instance: 1},
+					ActionID:          1,
+					IndicationSN:      uint64(i + 1),
+					IndicationHeader:  hdrEnc.Bytes(),
+					IndicationMessage: msgEnc.Bytes(),
+				})
+				// E2 Termination: decode into a reused Message, pick the
+				// shard from the header without materializing it.
+				if err := e2ap.DecodeInto(frame, &msg); err != nil {
+					panic(err)
+				}
+				shard := e2sm.PeekIndicationUE(msg.IndicationHeader) % uint64(opts.DispatchShards)
+				locks[shard].Lock()
+				queues[shard] <- dispatchItem{ue: ue, header: msg.IndicationHeader, msg: msg.IndicationMessage}
+				it := <-queues[shard]
+				locks[shard].Unlock()
+				// xApp ingest: one walk over the batch decodes each
+				// record into the reused slice for scoring AND persists
+				// its received wire form directly — no re-encode, an
+				// owned copy handed to the striped store.
+				var dec asn1lite.Decoder
+				dec.Reset(it.msg)
+				tr = tr[:0]
+				for dec.Next() {
+					if dec.Tag() != 1 {
+						continue
+					}
+					raw := dec.RawValue()
+					tr = append(tr, mobiflow.Record{})
+					rec := &tr[len(tr)-1]
+					if err := asn1lite.Unmarshal(raw, rec); err != nil {
+						panic(err)
+					}
+					keyBuf = appendIngestKey(keyBuf[:0], node, rec.Seq%uint64(opts.Retention))
+					store.SetOwned("mobiflow", string(keyBuf), append([]byte(nil), raw...))
+				}
+				if err := dec.Err(); err != nil {
+					panic(err)
+				}
+				lats = append(lats, time.Since(t0).Nanoseconds())
+			}
+			latencies[g] = lats
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return summarizeIngest("scaled", opts, gnbs, elapsed, ms1.Mallocs-ms0.Mallocs, latencies)
+}
+
+// appendIngestKey renders "node/%020d" without fmt.
+func appendIngestKey(buf []byte, node string, seq uint64) []byte {
+	buf = append(buf, node...)
+	buf = append(buf, '/')
+	var digits [20]byte
+	for i := len(digits) - 1; i >= 0; i-- {
+		digits[i] = byte('0' + seq%10)
+		seq /= 10
+	}
+	return append(buf, digits[:]...)
+}
+
+func summarizeIngest(mode string, opts IngestOptions, gnbs int, elapsed time.Duration, mallocs uint64, latencies [][]int64) IngestRun {
+	var all []int64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / 1e3
+	}
+	inds := uint64(gnbs * opts.IndicationsPerGNB)
+	recs := inds * uint64(opts.RecordsPerIndication)
+	sec := elapsed.Seconds()
+	return IngestRun{
+		Mode:              mode,
+		GNBs:              gnbs,
+		Indications:       inds,
+		Records:           recs,
+		Seconds:           sec,
+		IndicationsPerSec: float64(inds) / sec,
+		RecordsPerSec:     float64(recs) / sec,
+		AllocsPerInd:      float64(mallocs) / float64(inds),
+		P50LatencyUs:      pct(0.50),
+		P99LatencyUs:      pct(0.99),
+	}
+}
+
+// RunIngestBench measures both ingest stacks across the configured fleet
+// sizes in one process, so the speedup is a same-run comparison.
+func RunIngestBench(opts IngestOptions) (*IngestResult, error) {
+	opts.defaults()
+	res := &IngestResult{
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		Smoke:                opts.Smoke,
+		RecordsPerIndication: opts.RecordsPerIndication,
+		IndicationsPerGNB:    opts.IndicationsPerGNB,
+		SDLShards:            opts.SDLShards,
+		DispatchShards:       opts.DispatchShards,
+	}
+	best := func(run func(IngestOptions, int) IngestRun, n int) IngestRun {
+		out := run(opts, n)
+		for i := 1; i < opts.Repetitions; i++ {
+			if r := run(opts, n); r.IndicationsPerSec > out.IndicationsPerSec {
+				out = r
+			}
+		}
+		return out
+	}
+	var base1, scaled1 float64
+	for _, n := range opts.GNBCounts {
+		b := best(runIngestBaseline, n)
+		s := best(runIngestScaled, n)
+		res.Runs = append(res.Runs, b, s)
+		if n == 1 {
+			base1, scaled1 = b.IndicationsPerSec, s.IndicationsPerSec
+		}
+	}
+	if base1 > 0 {
+		res.SpeedupSingleGNB = scaled1 / base1
+	}
+	return res, nil
+}
+
+// JSON renders the baseline for BENCH_ingest.json.
+func (r *IngestResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the baseline as an aligned table.
+func (r *IngestResult) Format() string {
+	rows := make([][]string, 0, len(r.Runs))
+	for _, run := range r.Runs {
+		rows = append(rows, []string{
+			run.Mode,
+			fmt.Sprintf("%d", run.GNBs),
+			fmt.Sprintf("%.0f", run.IndicationsPerSec),
+			fmt.Sprintf("%.0f", run.RecordsPerSec),
+			fmt.Sprintf("%.1f", run.AllocsPerInd),
+			fmt.Sprintf("%.1f", run.P50LatencyUs),
+			fmt.Sprintf("%.1f", run.P99LatencyUs),
+		})
+	}
+	out := fmt.Sprintf("Ingest-path baseline (GOMAXPROCS=%d, %d records/indication)\n\n",
+		r.GoMaxProcs, r.RecordsPerIndication)
+	out += formatTable([]string{"mode", "gnbs", "ind/s", "rec/s", "allocs/ind", "p50 µs", "p99 µs"}, rows)
+	out += fmt.Sprintf("\nsingle-gNB speedup (scaled vs baseline): %.2fx\n", r.SpeedupSingleGNB)
+	return out
+}

@@ -144,6 +144,44 @@ type Message struct {
 	Cause string
 }
 
+// Reset clears m for reuse, retaining the capacity of its slice fields.
+// A Message cycled through Reset + DecodeInto amortizes to zero
+// allocations per PDU on the ingest hot path. Note that byte fields keep
+// their empty-but-non-nil state after Reset, so a reused Message is not
+// guaranteed to be DeepEqual to a freshly decoded one; the populated
+// field values are identical.
+func (m *Message) Reset() {
+	m.Type = TypeInvalid
+	m.TransactionID = 0
+	m.NodeID = ""
+	m.RANFunctions = m.RANFunctions[:0]
+	m.RequestID = RequestID{}
+	m.RANFunctionID = 0
+	m.EventTrigger = m.EventTrigger[:0]
+	m.Actions = m.Actions[:0]
+	m.AdmittedActions = m.AdmittedActions[:0]
+	m.ActionID = 0
+	m.IndicationSN = 0
+	m.IndicationHeader = m.IndicationHeader[:0]
+	m.IndicationMessage = m.IndicationMessage[:0]
+	m.ControlHeader = m.ControlHeader[:0]
+	m.ControlMessage = m.ControlMessage[:0]
+	m.Cause = ""
+}
+
+// appendField copies raw into dst's storage, preserving the decode
+// contract that an empty field yields an empty non-nil slice (so encode →
+// decode round-trips distinguish "absent" from "present but empty").
+func appendField(dst, raw []byte) []byte {
+	if len(raw) == 0 {
+		if dst == nil {
+			return []byte{}
+		}
+		return dst[:0]
+	}
+	return append(dst[:0], raw...)
+}
+
 // TLV tags.
 const (
 	tagType          = 1
@@ -256,7 +294,7 @@ func (m *Message) UnmarshalTLV(d *asn1lite.Decoder) error {
 			v, err = d.Uint()
 			m.RANFunctionID = uint16(v)
 		case tagEventTrigger:
-			m.EventTrigger, err = d.Bytes()
+			m.EventTrigger = appendField(m.EventTrigger, d.RawValue())
 		case tagAction:
 			var a Action
 			err = decodeAction(d, &a)
@@ -272,13 +310,13 @@ func (m *Message) UnmarshalTLV(d *asn1lite.Decoder) error {
 		case tagIndicationSN:
 			m.IndicationSN, err = d.Uint()
 		case tagIndHeader:
-			m.IndicationHeader, err = d.Bytes()
+			m.IndicationHeader = appendField(m.IndicationHeader, d.RawValue())
 		case tagIndMessage:
-			m.IndicationMessage, err = d.Bytes()
+			m.IndicationMessage = appendField(m.IndicationMessage, d.RawValue())
 		case tagCtrlHeader:
-			m.ControlHeader, err = d.Bytes()
+			m.ControlHeader = appendField(m.ControlHeader, d.RawValue())
 		case tagCtrlMessage:
-			m.ControlMessage, err = d.Bytes()
+			m.ControlMessage = appendField(m.ControlMessage, d.RawValue())
 		case tagCause:
 			m.Cause, err = d.String()
 		}
@@ -355,6 +393,17 @@ var ErrBadMessage = errors.New("e2ap: invalid message")
 // Encode serializes a message.
 func Encode(m *Message) []byte { return asn1lite.Marshal(m) }
 
+// AppendEncode serializes m, appending to dst, and returns the extended
+// slice. Once dst has steady-state capacity the call performs zero heap
+// allocations (the encoder lives on the caller's stack and the concrete
+// MarshalTLV call does not escape it), which is what the per-indication
+// send path needs at fleet scale.
+func AppendEncode(dst []byte, m *Message) []byte {
+	e := asn1lite.NewEncoder(dst)
+	m.MarshalTLV(&e)
+	return e.Bytes()
+}
+
 // Decode parses a message and validates its type.
 func Decode(data []byte) (*Message, error) {
 	var m Message
@@ -365,4 +414,23 @@ func Decode(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("type %d: %w", m.Type, ErrBadMessage)
 	}
 	return &m, nil
+}
+
+// DecodeInto parses data into m, reusing m's allocated capacity. It is
+// the hot-path counterpart of Decode: a Message cycled through DecodeInto
+// reaches zero allocations per PDU once its byte fields have grown to the
+// working sizes. Unlike Decode, absent byte fields may come back empty
+// rather than nil on a reused m (see Reset); all populated values are
+// identical to Decode's.
+func DecodeInto(data []byte, m *Message) error {
+	m.Reset()
+	var d asn1lite.Decoder
+	d.Reset(data)
+	if err := m.UnmarshalTLV(&d); err != nil {
+		return err
+	}
+	if !m.Type.Valid() {
+		return fmt.Errorf("type %d: %w", m.Type, ErrBadMessage)
+	}
+	return nil
 }

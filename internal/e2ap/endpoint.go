@@ -2,12 +2,22 @@ package e2ap
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/wire"
 )
+
+// encBufPool recycles encode buffers across Send calls (and across
+// endpoints — the E2 Termination serves one goroutine per connected gNB,
+// all drawing from the same pool). wire.Conn.Send hands the buffer to the
+// kernel synchronously, so returning it to the pool right after Send is
+// safe.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
 
 // Per-direction, per-procedure transport counters. The series handles
 // are interned once per message type at init so the Send/Recv hot
@@ -57,7 +67,11 @@ func (ep *Endpoint) Send(m *Message) error {
 	if m.TransactionID == 0 {
 		m.TransactionID = ep.nextTxn.Add(1)
 	}
-	if err := ep.conn.Send(Encode(m)); err != nil {
+	bp := encBufPool.Get().(*[]byte)
+	*bp = AppendEncode((*bp)[:0], m)
+	err := ep.conn.Send(*bp)
+	encBufPool.Put(bp)
+	if err != nil {
 		txErrors.Inc()
 		return fmt.Errorf("e2ap: sending %s: %w", m.Type, err)
 	}

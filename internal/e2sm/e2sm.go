@@ -104,6 +104,12 @@ type IndicationHeader struct {
 	NodeID          string
 	CollectionStart time.Time
 	BatchSeq        uint64
+	// UEID scopes the batch to one UE context when non-zero (real UE IDs
+	// start at 1). The gNB agent emits UE-scoped batches so the RIC can
+	// shard dispatch by UE; 0 means a mixed or unscoped batch, which
+	// routes through shard 0 (the pre-batching wire form decodes as 0,
+	// keeping old captures readable).
+	UEID uint64
 }
 
 // MarshalTLV implements asn1lite.Marshaler.
@@ -111,6 +117,9 @@ func (h *IndicationHeader) MarshalTLV(e *asn1lite.Encoder) {
 	e.PutString(1, h.NodeID)
 	e.PutInt(2, h.CollectionStart.UnixNano())
 	e.PutUint(3, h.BatchSeq)
+	if h.UEID != 0 {
+		e.PutUint(4, h.UEID)
+	}
 }
 
 // UnmarshalTLV implements asn1lite.Unmarshaler.
@@ -128,12 +137,33 @@ func (h *IndicationHeader) UnmarshalTLV(d *asn1lite.Decoder) error {
 			}
 		case 3:
 			h.BatchSeq, err = d.Uint()
+		case 4:
+			h.UEID, err = d.Uint()
 		}
 		if err != nil {
 			return err
 		}
 	}
 	return d.Err()
+}
+
+// PeekIndicationUE extracts the UEID from an encoded IndicationHeader
+// without materializing the struct (or allocating): the UE-sharded
+// dispatcher calls it once per indication to pick a queue. It returns 0
+// (the unscoped shard) for headers without a UEID or malformed input.
+func PeekIndicationUE(hdr []byte) uint64 {
+	var d asn1lite.Decoder
+	d.Reset(hdr)
+	for d.Next() {
+		if d.Tag() == 4 {
+			ue, err := d.Uint()
+			if err != nil {
+				return 0
+			}
+			return ue
+		}
+	}
+	return 0
 }
 
 // IndicationMessage carries one batch of telemetry records.

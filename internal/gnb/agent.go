@@ -10,6 +10,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/asn1lite"
 	"github.com/6g-xsec/xsec/internal/e2ap"
 	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/prov"
 )
@@ -20,7 +21,31 @@ var (
 		"MOBIFLOW telemetry records shipped over E2, by node.", "node")
 	obsIndicationsSent = obs.NewCounterVec("xsec_gnb_indications_sent_total",
 		"RIC indications emitted by the gNB agent, by node.", "node")
+	obsBatchRecords = obs.NewHistogramVec("xsec_gnb_indication_batch_records",
+		"Records coalesced into each RIC indication, by node.",
+		obs.ExpBuckets(1, 2, 10), "node")
 )
+
+// DefaultBatchRecords is the per-indication record cap when
+// Config.Batch.MaxRecords is unset.
+const DefaultBatchRecords = 64
+
+// BatchPolicy controls how the E2 agent coalesces drained MobiFlow
+// records into RIC Indications (the max-records / max-age adaptive
+// flush). The zero value picks the defaults.
+type BatchPolicy struct {
+	// MaxRecords caps the records carried by one indication; a flush
+	// holding more splits into multiple indications per UE. A pending
+	// set reaching MaxRecords also flushes immediately, so bursts ship
+	// without waiting out the period. Default DefaultBatchRecords.
+	MaxRecords int
+	// MaxAge is the drain cadence and staleness bound: telemetry is
+	// polled every MaxAge, and records flushed no later than one poll
+	// after the one that drained them. It is clamped to the
+	// subscription period; the default (the period itself) reproduces
+	// the classic one-flush-per-period report loop.
+	MaxAge time.Duration
+}
 
 // ServeE2 runs the gNB's RIC agent over an E2 connection: it performs the
 // E2 Setup handshake (advertising the E2SM-MOBIFLOW and E2SM-XRC RAN
@@ -130,58 +155,156 @@ func (a *e2Agent) subscribe(msg *e2ap.Message) {
 	go a.report(msg.RequestID, actionID, trigger.Period, stop)
 }
 
-// report drains telemetry every period and ships it as a RIC Indication.
+// reporter is the per-subscription batching state of the report loop.
+// Everything it touches per flush — the pending drain buffer, the per-UE
+// grouping, the header/message encoders, and the indication PDU — is
+// reused, so the steady-state emit path allocates nothing.
+type reporter struct {
+	a        *e2Agent
+	reqID    e2ap.RequestID
+	actionID uint16
+	pol      BatchPolicy
+
+	batchSeq uint64
+	pending  mobiflow.Trace
+	byUE     map[uint64]mobiflow.Trace
+	order    []uint64 // UEs with records this flush, in arrival order
+	held     bool     // pending survived the previous poll unflushed
+
+	hdrEnc asn1lite.Encoder
+	msgEnc asn1lite.Encoder
+	ind    e2ap.Message
+
+	records     *obs.Counter
+	indications *obs.Counter
+	batchSize   *obs.Histogram
+}
+
+// report drains telemetry every BatchPolicy.MaxAge and coalesces it into
+// UE-scoped RIC Indications under the max-records / max-age flush policy.
 func (a *e2Agent) report(reqID e2ap.RequestID, actionID uint16, period time.Duration, stop chan struct{}) {
-	ticker := time.NewTicker(period)
+	pol := a.g.cfg.Batch
+	if pol.MaxRecords <= 0 {
+		pol.MaxRecords = DefaultBatchRecords
+	}
+	if pol.MaxAge <= 0 || pol.MaxAge > period {
+		pol.MaxAge = period
+	}
+	// Flush at least once per subscription period, measured in polls so
+	// ticker jitter cannot slip a flush by a whole extra period.
+	ticksPerPeriod := int(period / pol.MaxAge)
+	if ticksPerPeriod < 1 {
+		ticksPerPeriod = 1
+	}
+	r := &reporter{
+		a: a, reqID: reqID, actionID: actionID, pol: pol,
+		byUE:        make(map[uint64]mobiflow.Trace),
+		records:     obsRecords.With(a.g.cfg.NodeID),
+		indications: obsIndicationsSent.With(a.g.cfg.NodeID),
+		batchSize:   obsBatchRecords.With(a.g.cfg.NodeID),
+	}
+	ticker := time.NewTicker(pol.MaxAge)
 	defer ticker.Stop()
-	records := obsRecords.With(a.g.cfg.NodeID)
-	indications := obsIndicationsSent.With(a.g.cfg.NodeID)
-	var batchSeq uint64
+	sinceFlush := 0
 	for {
 		select {
 		case <-stop:
 			return
 		case <-ticker.C:
-			reportStart := time.Now()
-			tr := a.g.DrainRecords()
-			if len(tr) == 0 {
+			start := time.Now()
+			r.pending = a.g.DrainRecordsInto(r.pending)
+			sinceFlush++
+			if len(r.pending) == 0 {
 				continue
 			}
-			batchSeq++
-			hdr := &e2sm.IndicationHeader{
-				NodeID:          a.g.cfg.NodeID,
-				CollectionStart: tr[0].Timestamp,
-				BatchSeq:        batchSeq,
+			if r.held || len(r.pending) >= pol.MaxRecords || sinceFlush >= ticksPerPeriod {
+				if !r.flush(start) {
+					return
+				}
+				sinceFlush = 0
+				r.held = false
+			} else {
+				r.held = true
 			}
-			err := a.ep.Send(&e2ap.Message{
-				Type:              e2ap.TypeIndication,
-				RequestID:         reqID,
-				RANFunctionID:     e2sm.MobiFlowRANFunctionID,
-				ActionID:          actionID,
-				IndicationSN:      batchSeq,
-				IndicationHeader:  asn1lite.Marshal(hdr),
-				IndicationMessage: e2sm.EncodeIndicationMessage(&e2sm.IndicationMessage{Records: tr}),
-			})
-			if err != nil {
-				return
-			}
-			records.Add(uint64(len(tr)))
-			indications.Inc()
-			obs.RecordSpan(obs.IndicationKey(a.g.cfg.NodeID, batchSeq),
-				"gnb.report", reportStart, time.Now())
-			// Root of the evidence chain: what the node actually emitted,
-			// fingerprinted before the batch crosses any trust boundary.
-			prov.Record(prov.Event{
-				Chain:    prov.ChainID{Node: a.g.cfg.NodeID, SN: batchSeq},
-				Kind:     prov.KindEmit,
-				At:       reportStart,
-				SeqFirst: tr[0].Seq,
-				SeqLast:  tr[len(tr)-1].Seq,
-				Records:  uint32(len(tr)),
-				Digest:   prov.DigestRecords(tr),
-			})
 		}
 	}
+}
+
+// flush groups the pending records by UE (preserving per-UE arrival
+// order) and emits one indication per UE per MaxRecords chunk. It
+// reports false when the transport failed and the loop should exit.
+func (r *reporter) flush(start time.Time) bool {
+	for i := range r.pending {
+		ue := r.pending[i].UEID
+		if len(r.byUE[ue]) == 0 {
+			r.order = append(r.order, ue)
+		}
+		r.byUE[ue] = append(r.byUE[ue], r.pending[i])
+	}
+	r.pending = r.pending[:0]
+	for _, ue := range r.order {
+		chunk := r.byUE[ue]
+		for len(chunk) > 0 {
+			n := len(chunk)
+			if n > r.pol.MaxRecords {
+				n = r.pol.MaxRecords
+			}
+			if !r.emit(ue, chunk[:n], start) {
+				return false
+			}
+			chunk = chunk[n:]
+		}
+		r.byUE[ue] = r.byUE[ue][:0]
+	}
+	r.order = r.order[:0]
+	return true
+}
+
+// emit ships one UE-scoped chunk as a RIC Indication. Each chunk gets
+// its own batch sequence number, so every indication still roots its own
+// provenance chain with an exact digest of what it carried.
+func (r *reporter) emit(ue uint64, chunk mobiflow.Trace, start time.Time) bool {
+	nodeID := r.a.g.cfg.NodeID
+	r.batchSeq++
+	hdr := e2sm.IndicationHeader{
+		NodeID:          nodeID,
+		CollectionStart: chunk[0].Timestamp,
+		BatchSeq:        r.batchSeq,
+		UEID:            ue,
+	}
+	r.hdrEnc.Reset()
+	hdr.MarshalTLV(&r.hdrEnc)
+	r.msgEnc.Reset()
+	mobiflow.AppendTrace(&r.msgEnc, chunk)
+	r.ind = e2ap.Message{
+		Type:              e2ap.TypeIndication,
+		RequestID:         r.reqID,
+		RANFunctionID:     e2sm.MobiFlowRANFunctionID,
+		ActionID:          r.actionID,
+		IndicationSN:      r.batchSeq,
+		IndicationHeader:  r.hdrEnc.Bytes(),
+		IndicationMessage: r.msgEnc.Bytes(),
+	}
+	if err := r.a.ep.Send(&r.ind); err != nil {
+		return false
+	}
+	r.records.Add(uint64(len(chunk)))
+	r.indications.Inc()
+	r.batchSize.Observe(float64(len(chunk)))
+	obs.RecordSpan(obs.IndicationKey(nodeID, r.batchSeq),
+		"gnb.report", start, time.Now())
+	// Root of the evidence chain: what the node actually emitted,
+	// fingerprinted before the batch crosses any trust boundary.
+	prov.Record(prov.Event{
+		Chain:    prov.ChainID{Node: nodeID, SN: r.batchSeq},
+		Kind:     prov.KindEmit,
+		At:       start,
+		SeqFirst: chunk[0].Seq,
+		SeqLast:  chunk[len(chunk)-1].Seq,
+		Records:  uint32(len(chunk)),
+		Digest:   prov.DigestRecords(chunk),
+	})
+	return true
 }
 
 func (a *e2Agent) unsubscribe(msg *e2ap.Message) {

@@ -47,6 +47,9 @@ type Config struct {
 	DLBuffer int
 	// FirstRNTI seeds C-RNTI allocation (default 0x4601, as OAI).
 	FirstRNTI cell.RNTI
+	// Batch tunes how the E2 agent coalesces telemetry into RIC
+	// Indications; the zero value keeps the defaults (see BatchPolicy).
+	Batch BatchPolicy
 }
 
 // GNB is the simulated gNodeB.
@@ -209,6 +212,28 @@ func (g *GNB) DrainRecords() mobiflow.Trace {
 	out := g.records
 	g.records = nil
 	return out
+}
+
+// DrainRecordsInto appends the accumulated telemetry to buf and returns
+// the extended slice, truncating the internal buffer in place. It is the
+// buffer-reusing form of DrainRecords for the batching report loop:
+// records are plain values (no shared byte slices), so both sides keep
+// their own backing arrays and the steady state allocates nothing.
+func (g *GNB) DrainRecordsInto(buf mobiflow.Trace) mobiflow.Trace {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	buf = append(buf, g.records...)
+	g.records = g.records[:0]
+	return buf
+}
+
+// InjectTelemetry appends pre-built records directly to the telemetry
+// buffer, bypassing the RAN procedures. The ingest benchmark uses it to
+// drive the E2 report path at controlled record rates and UE spreads.
+func (g *GNB) InjectTelemetry(tr mobiflow.Trace) {
+	g.mu.Lock()
+	g.records = append(g.records, tr...)
+	g.mu.Unlock()
 }
 
 // ActiveUEs reports the number of live UE contexts.

@@ -571,7 +571,9 @@ func (e *Engine) recordLocked(act *action, s State, note string, at time.Time) {
 	if err != nil {
 		return
 	}
-	e.cfg.Store.Set(JournalNS, fmt.Sprintf("act/%020d", act.entry.ID), data)
+	// The marshal buffer is single-use; the store takes ownership
+	// rather than copying it.
+	e.cfg.Store.SetOwned(JournalNS, fmt.Sprintf("act/%020d", act.entry.ID), data)
 }
 
 // Entries reads the audit journal back from the SDL, ordered by action ID.

@@ -251,25 +251,44 @@ func Decode(data []byte) (Record, error) {
 // EncodeTrace serializes a whole trace as repeated nested records.
 func EncodeTrace(tr Trace) []byte {
 	var e asn1lite.Encoder
+	AppendTrace(&e, tr)
+	return e.Bytes()
+}
+
+// AppendTrace appends tr's EncodeTrace wire form to e. Hot paths hold a
+// long-lived encoder and call this per batch: the encoder's buffer and
+// its nested-record child are reused, so steady-state encoding of a
+// telemetry batch allocates nothing.
+func AppendTrace(e *asn1lite.Encoder, tr Trace) {
 	for i := range tr {
 		e.PutMessage(1, &tr[i])
 	}
-	return e.Bytes()
 }
 
 // DecodeTrace parses a trace produced by EncodeTrace.
 func DecodeTrace(data []byte) (Trace, error) {
+	tr, err := DecodeTraceInto(nil, data)
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// DecodeTraceInto parses a trace produced by EncodeTrace, appending its
+// records to buf. Streaming consumers pass the previous batch's slice
+// (truncated to buf[:0]) so steady-state batch decoding reuses one
+// backing array instead of growing a fresh slice per indication. The
+// appended records are returned even on error, alongside it.
+func DecodeTraceInto(buf Trace, data []byte) (Trace, error) {
 	d := asn1lite.NewDecoder(data)
-	var tr Trace
 	for d.Next() {
 		if d.Tag() != 1 {
 			continue
 		}
-		var r Record
-		if err := d.Message(&r); err != nil {
-			return nil, err
+		buf = append(buf, Record{})
+		if err := d.Message(&buf[len(buf)-1]); err != nil {
+			return buf, err
 		}
-		tr = append(tr, r)
 	}
-	return tr, d.Err()
+	return buf, d.Err()
 }

@@ -1,0 +1,60 @@
+package mobiflow
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDecodeTraceIntoReusesBuffer pins the slice-reuse contract: decoding
+// into a truncated previous batch appends the new records without
+// growing a fresh backing array, and matches DecodeTrace.
+func TestDecodeTraceIntoReusesBuffer(t *testing.T) {
+	mk := func(n int, base uint64) Trace {
+		tr := make(Trace, n)
+		for i := range tr {
+			tr[i] = Record{
+				Seq: base + uint64(i), UEID: 7, Msg: "RRCSetupRequest",
+				Timestamp: time.Unix(1700000000+int64(i), 0).UTC(),
+			}
+		}
+		return tr
+	}
+
+	first := mk(6, 1)
+	buf, err := DecodeTraceInto(nil, EncodeTrace(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(buf, first) {
+		t.Fatalf("first decode = %+v", buf)
+	}
+
+	// Second, smaller batch into the truncated slice: same backing array.
+	second := mk(4, 100)
+	prev := &buf[:1][0]
+	buf, err = DecodeTraceInto(buf[:0], EncodeTrace(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(buf, second) {
+		t.Fatalf("second decode = %+v", buf)
+	}
+	if &buf[0] != prev {
+		t.Error("reused decode grew a new backing array")
+	}
+
+	// DecodeTrace stays equivalent.
+	direct, err := DecodeTrace(EncodeTrace(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, second) {
+		t.Fatalf("DecodeTrace = %+v", direct)
+	}
+
+	// Garbage is rejected.
+	if _, err := DecodeTraceInto(nil, []byte{0xff, 0x01, 0x02}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

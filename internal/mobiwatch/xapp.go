@@ -84,6 +84,14 @@ type RunOptions struct {
 	ContextSpan time.Duration
 	// AlertBuffer bounds the alert channel (default 64).
 	AlertBuffer int
+	// Shards is the number of parallel scoring workers. Indications are
+	// partitioned by the UE ID in their headers (per-UE batches are the
+	// gNB agent's default), so records of one UE are always scored in
+	// order by one worker while different UEs proceed in parallel. The
+	// default 1 keeps the classic single sequential pipeline.
+	Shards int
+	// ShardBuffer bounds each shard's dispatch queue (default 256).
+	ShardBuffer int
 	// Clock is used for alert timestamps (default time.Now).
 	Clock func() time.Time
 }
@@ -100,6 +108,12 @@ func (o *RunOptions) defaults() {
 	}
 	if o.ContextSpan == 0 {
 		o.ContextSpan = time.Second
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.ShardBuffer <= 0 {
+		o.ShardBuffer = 256
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
@@ -120,25 +134,38 @@ type Runtime struct {
 	models *Models
 	opts   RunOptions
 	xapp   *ric.XApp
-	sub    *ric.Subscription
+	sub    *ric.ShardedSubscription
 
 	alerts chan Alert
 	stats  Stats
 
-	mu      sync.Mutex
+	// thMu guards the shared model thresholds: workers hold the read
+	// side per batch, SetThresholdPercentile the write side.
+	thMu       sync.RWMutex
+	queueDepth *obs.Gauge
+	done       chan struct{}
+}
+
+// worker is one scoring pipeline. Each worker owns a shard of the
+// indication stream (all indications of a UE land on the same worker, in
+// order) and its own sliding-window state, so shards score concurrently
+// without sharing anything but the read-mostly models.
+type worker struct {
+	rt      *Runtime
 	encoder *feature.Encoder
 	recent  mobiflow.Trace // trailing records for window + context
 	vecs    [][]float64    // encoded counterparts of recent
-	scratch *ScoreScratch  // inference workspace (guarded by mu)
+	scratch *ScoreScratch  // inference workspace
 	flat    []float64      // reusable window-flattening buffer
+	keyBuf  []byte         // reusable SDL key-rendering buffer
 	batchAt time.Time      // RIC arrival time of the batch being ingested
 	batchSN uint64         // its E2 indication sequence number
-	done    chan struct{}
 }
 
 // Run subscribes MobiWatch to a node's MOBIFLOW telemetry and starts
 // online inference. The returned runtime's Alerts channel streams flagged
-// windows until Stop.
+// windows until Stop. With RunOptions.Shards > 1 the indication stream is
+// UE-sharded and scored by that many parallel workers.
 func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
 	opts.defaults()
 	if opts.NodeID == "" {
@@ -146,22 +173,43 @@ func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
 	}
 	trigger := asn1lite.Marshal(&e2sm.EventTrigger{Period: opts.ReportPeriod})
 	action := asn1lite.Marshal(&e2sm.ActionDefinition{AllUEs: true})
-	sub, err := x.Subscribe(opts.NodeID, e2sm.MobiFlowRANFunctionID, trigger,
-		[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport, Definition: action}}, 256)
+	sub, err := x.SubscribeSharded(opts.NodeID, e2sm.MobiFlowRANFunctionID, trigger,
+		[]e2ap.Action{{ID: 1, Type: e2ap.ActionReport, Definition: action}},
+		ric.ShardedOptions{
+			Shards: opts.Shards,
+			Buffer: opts.ShardBuffer,
+			Key:    func(ind ric.Indication) uint64 { return e2sm.PeekIndicationUE(ind.Header) },
+		})
 	if err != nil {
 		return nil, fmt.Errorf("mobiwatch: subscribing to %s: %w", opts.NodeID, err)
 	}
 	rt := &Runtime{
-		models:  models,
-		opts:    opts,
-		xapp:    x,
-		sub:     sub,
-		alerts:  make(chan Alert, opts.AlertBuffer),
-		encoder: feature.NewEncoder(models.Vocab),
-		scratch: models.NewScoreScratch(),
-		done:    make(chan struct{}),
+		models:     models,
+		opts:       opts,
+		xapp:       x,
+		sub:        sub,
+		alerts:     make(chan Alert, opts.AlertBuffer),
+		queueDepth: obsQueueDepth.With(opts.NodeID),
+		done:       make(chan struct{}),
 	}
-	go rt.loop()
+	var wg sync.WaitGroup
+	for i := 0; i < sub.Shards(); i++ {
+		w := &worker{
+			rt:      rt,
+			encoder: feature.NewEncoder(models.Vocab),
+			scratch: models.NewScoreScratch(),
+		}
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			w.loop(sub.C(shard))
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(rt.alerts)
+		close(rt.done)
+	}()
 	return rt, nil
 }
 
@@ -182,22 +230,21 @@ func (rt *Runtime) Stop() error {
 // detection thresholds are re-fitted at the given percentile of the
 // stored training-score distribution, without retraining or redeploying.
 func (rt *Runtime) SetThresholdPercentile(pct float64) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.thMu.Lock()
+	defer rt.thMu.Unlock()
 	return rt.models.SetPercentile(pct)
 }
 
 // Thresholds reports the active detection thresholds.
 func (rt *Runtime) Thresholds() (ae, lstm float64) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.thMu.RLock()
+	defer rt.thMu.RUnlock()
 	return rt.models.AEThreshold, rt.models.LSTMThreshold
 }
 
-func (rt *Runtime) loop() {
-	defer close(rt.alerts)
-	defer close(rt.done)
-	for ind := range rt.sub.C() {
+func (w *worker) loop(c <-chan ric.Indication) {
+	rt := w.rt
+	for ind := range c {
 		span := obs.StartSpan(obs.IndicationKey(ind.NodeID, ind.SN), "mobiwatch.score")
 		msg, err := e2sm.DecodeIndicationMessage(ind.Message)
 		if err != nil {
@@ -209,69 +256,88 @@ func (rt *Runtime) loop() {
 		}
 		rt.stats.BatchesHandled.Add(1)
 		start := time.Now()
-		rt.ingest(ind, msg.Records)
+		rt.thMu.RLock()
+		w.ingest(ind, msg.Records)
+		rt.thMu.RUnlock()
 		obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
 		span.End()
-		obsQueueDepth.With(rt.opts.NodeID).Set(float64(len(rt.alerts)))
+		rt.queueDepth.Set(float64(len(rt.alerts)))
 	}
 }
 
-// ingest runs streaming inference over a telemetry batch.
-func (rt *Runtime) ingest(ind ric.Indication, batch mobiflow.Trace) {
+// persistKey renders "nodeID/%020d" into buf without fmt, so the SDL
+// persist path pays one allocation (the key string) per record.
+func persistKey(buf []byte, nodeID string, seq uint64) []byte {
+	buf = append(buf[:0], nodeID...)
+	buf = append(buf, '/')
+	var digits [20]byte
+	for i := len(digits) - 1; i >= 0; i-- {
+		digits[i] = byte('0' + seq%10)
+		seq /= 10
+	}
+	return append(buf, digits[:]...)
+}
+
+// ingest runs streaming inference over a telemetry batch. The caller
+// holds the runtime's threshold read-lock.
+func (w *worker) ingest(ind ric.Indication, batch mobiflow.Trace) {
+	rt := w.rt
 	nodeID := ind.NodeID
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.batchAt, rt.batchSN = ind.ReceivedAt, ind.SN
+	w.batchAt, w.batchSN = ind.ReceivedAt, ind.SN
 	N := rt.models.Window
-	sdl := rt.xapp.SDL()
+	store := rt.xapp.SDL()
 	for _, rec := range batch {
 		rt.stats.RecordsSeen.Add(1)
 		obsRecords.Inc()
-		// Persist telemetry in the SDL for other services (§3.1).
-		sdl.Set("mobiflow", fmt.Sprintf("%s/%020d", nodeID, rec.Seq), mobiflow.Encode(&rec))
+		// Persist telemetry in the SDL for other services (§3.1). The
+		// encoded buffer is single-use, so the store takes ownership
+		// instead of copying.
+		w.keyBuf = persistKey(w.keyBuf, nodeID, rec.Seq)
+		store.SetOwned("mobiflow", string(w.keyBuf), mobiflow.Encode(&rec))
 
-		rt.recent = append(rt.recent, rec)
-		rt.vecs = append(rt.vecs, rt.encoder.Encode(rec))
+		w.recent = append(w.recent, rec)
+		w.vecs = append(w.vecs, w.encoder.Encode(rec))
 
-		if len(rt.vecs) >= N {
-			rt.scoreLatest(nodeID)
+		if len(w.vecs) >= N {
+			w.scoreLatest(nodeID)
 		}
 		// Trim history to what context windows need.
 		max := rt.opts.ContextRecords + N + 1
-		if len(rt.recent) > max {
-			drop := len(rt.recent) - max
-			rt.recent = rt.recent[drop:]
-			rt.vecs = rt.vecs[drop:]
+		if len(w.recent) > max {
+			drop := len(w.recent) - max
+			w.recent = w.recent[drop:]
+			w.vecs = w.vecs[drop:]
 		}
 	}
 }
 
 // scoreLatest evaluates the newest AE window and, when possible, the
 // newest LSTM pair.
-func (rt *Runtime) scoreLatest(nodeID string) {
+func (w *worker) scoreLatest(nodeID string) {
+	rt := w.rt
 	N := rt.models.Window
-	n := len(rt.vecs)
+	n := len(w.vecs)
 
 	// Autoencoder: flatten the last N vectors into the reusable buffer,
-	// then score through the runtime's workspace — the streaming hot
+	// then score through the worker's workspace — the streaming hot
 	// path performs no per-window allocation.
-	flat := rt.flat[:0]
-	for _, v := range rt.vecs[n-N:] {
+	flat := w.flat[:0]
+	for _, v := range w.vecs[n-N:] {
 		flat = append(flat, v...)
 	}
-	rt.flat = flat
+	w.flat = flat
 	rt.stats.WindowsScored.Add(1)
 	obsWindows.Inc()
-	s := rt.models.ScoreAEWindowWith(rt.scratch, flat)
+	s := rt.models.ScoreAEWindowWith(w.scratch, flat)
 	// Every scored window joins the evidence chain; prov.Record is a
 	// struct channel send, so the benign path stays allocation-free
 	// (consecutive benign windows coalesce writer-side).
 	prov.Record(prov.Event{
-		Chain:     prov.ChainID{Node: nodeID, SN: rt.batchSN},
+		Chain:     prov.ChainID{Node: nodeID, SN: w.batchSN},
 		Kind:      prov.KindWindow,
-		At:        rt.batchAt,
-		SeqFirst:  rt.recent[len(rt.recent)-N].Seq,
-		SeqLast:   rt.recent[len(rt.recent)-1].Seq,
+		At:        w.batchAt,
+		SeqFirst:  w.recent[len(w.recent)-N].Seq,
+		SeqLast:   w.recent[len(w.recent)-1].Seq,
 		Digest:    prov.DigestFloats(flat),
 		Model:     string(ModelAE),
 		Score:     s,
@@ -280,22 +346,22 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 	})
 	if s > rt.models.AEThreshold {
 		obsAnomalyAE.Inc()
-		rt.raise(nodeID, rt.recent[len(rt.recent)-N:], s, rt.models.AEThreshold, ModelAE)
+		w.raise(nodeID, w.recent[len(w.recent)-N:], s, rt.models.AEThreshold, ModelAE)
 	}
 
 	// LSTM: previous N vectors predict the newest one.
 	if n >= N+1 {
-		window := rt.vecs[n-N-1 : n-1]
-		next := rt.vecs[n-1]
+		window := w.vecs[n-N-1 : n-1]
+		next := w.vecs[n-1]
 		rt.stats.WindowsScored.Add(1)
 		obsWindows.Inc()
-		s := rt.models.LSTM.ScoreWith(rt.scratch.LSTM, window, next)
+		s := rt.models.LSTM.ScoreWith(w.scratch.LSTM, window, next)
 		prov.Record(prov.Event{
-			Chain:     prov.ChainID{Node: nodeID, SN: rt.batchSN},
+			Chain:     prov.ChainID{Node: nodeID, SN: w.batchSN},
 			Kind:      prov.KindWindow,
-			At:        rt.batchAt,
-			SeqFirst:  rt.recent[n-N-1].Seq,
-			SeqLast:   rt.recent[n-1].Seq,
+			At:        w.batchAt,
+			SeqFirst:  w.recent[n-N-1].Seq,
+			SeqLast:   w.recent[n-1].Seq,
 			Digest:    prov.NewDigest().Vecs(window).Floats(next),
 			Model:     string(ModelLSTM),
 			Score:     s,
@@ -304,37 +370,38 @@ func (rt *Runtime) scoreLatest(nodeID string) {
 		})
 		if s > rt.models.LSTMThreshold {
 			obsAnomalyLSTM.Inc()
-			rt.raise(nodeID, rt.recent[len(rt.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
+			w.raise(nodeID, w.recent[len(w.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
 		}
 	}
 }
 
-func (rt *Runtime) raise(nodeID string, window mobiflow.Trace, score, threshold float64, model ModelName) {
+func (w *worker) raise(nodeID string, window mobiflow.Trace, score, threshold float64, model ModelName) {
+	rt := w.rt
 	ctxLen := rt.opts.ContextRecords
-	start := len(rt.recent) - len(window) - ctxLen
+	start := len(w.recent) - len(window) - ctxLen
 	if start < 0 {
 		start = 0
 	}
 	// Temporal bound: drop context records older than ContextSpan
 	// before the window starts.
 	windowStart := window[0].Timestamp
-	for start < len(rt.recent)-len(window) &&
-		windowStart.Sub(rt.recent[start].Timestamp) > rt.opts.ContextSpan {
+	for start < len(w.recent)-len(window) &&
+		windowStart.Sub(w.recent[start].Timestamp) > rt.opts.ContextSpan {
 		start++
 	}
 	alert := Alert{
 		NodeID:       nodeID,
 		Window:       append(mobiflow.Trace(nil), window...),
-		Context:      append(mobiflow.Trace(nil), rt.recent[start:]...),
+		Context:      append(mobiflow.Trace(nil), w.recent[start:]...),
 		Score:        score,
 		Threshold:    threshold,
 		Model:        model,
 		At:           rt.opts.Clock(),
-		ReceivedAt:   rt.batchAt,
-		IndicationSN: rt.batchSN,
+		ReceivedAt:   w.batchAt,
+		IndicationSN: w.batchSN,
 	}
-	if !rt.batchAt.IsZero() {
-		obsFlagSeconds.ObserveSeconds(time.Since(rt.batchAt).Nanoseconds())
+	if !w.batchAt.IsZero() {
+		obsFlagSeconds.ObserveSeconds(time.Since(w.batchAt).Nanoseconds())
 	}
 	disposition := "raised"
 	select {
@@ -349,7 +416,7 @@ func (rt *Runtime) raise(nodeID string, window mobiflow.Trace, score, threshold 
 			"node", nodeID, "model", string(model))
 	}
 	prov.Record(prov.Event{
-		Chain:     prov.ChainID{Node: nodeID, SN: rt.batchSN},
+		Chain:     prov.ChainID{Node: nodeID, SN: w.batchSN},
 		Kind:      prov.KindAlert,
 		At:        alert.At,
 		SeqFirst:  window[0].Seq,

@@ -238,7 +238,9 @@ func (l *Ledger) persistLocked(id ChainID, idx int, ev Event) {
 	if err != nil {
 		return // Event is marshal-safe by construction; never reached.
 	}
-	l.store.SetTTL(Namespace, eventKey(id, idx), data, l.ttl)
+	// The marshal buffer is single-use: hand it to the store instead of
+	// paying a defensive copy on every persisted event.
+	l.store.SetOwnedTTL(Namespace, eventKey(id, idx), data, l.ttl)
 }
 
 // keyPrefix is the SDL key prefix holding one chain's events.

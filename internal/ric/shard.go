@@ -1,0 +1,142 @@
+package ric
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/obs"
+)
+
+// DefaultDispatchShards is the shard-queue count SubscribeSharded uses
+// when ShardedOptions.Shards is unset.
+const DefaultDispatchShards = 4
+
+// ShardFunc extracts the partition key from an indication; indications
+// with equal keys are delivered to the same shard queue in arrival
+// order. The E2SM layer supplies it (e.g. e2sm.PeekIndicationUE over the
+// indication header) — the platform itself stays service-model agnostic.
+type ShardFunc func(Indication) uint64
+
+// ShardedOptions configures SubscribeSharded.
+type ShardedOptions struct {
+	// Shards is the number of bounded dispatch queues (default
+	// DefaultDispatchShards).
+	Shards int
+	// Buffer is each shard queue's capacity (default 64). A full queue
+	// drops, counted per shard.
+	Buffer int
+	// Key partitions indications across queues. Required.
+	Key ShardFunc
+}
+
+// ShardedSubscription is a RIC subscription whose indication stream is
+// partitioned into bounded per-shard queues by a caller-provided key
+// (typically the UE ID from the indication header). Indications with the
+// same key stay strictly ordered on one queue; different keys land on
+// different queues so downstream workers — one per shard — process them
+// in parallel. Backpressure is explicit: a full shard queue drops that
+// indication and increments its own counter, without stalling the E2
+// Termination or the other shards.
+type ShardedSubscription struct {
+	sub    *Subscription
+	key    ShardFunc
+	shards []shardQueue
+}
+
+type shardQueue struct {
+	mu      sync.Mutex
+	closed  bool
+	ch      chan Indication
+	routed  *obs.Counter
+	dropped *obs.Counter
+}
+
+// SubscribeSharded establishes a RIC subscription delivering into
+// per-shard bounded queues instead of a single channel. See
+// ShardedSubscription for the ordering and backpressure semantics.
+func (x *XApp) SubscribeSharded(nodeID string, ranFunctionID uint16, eventTrigger []byte, actions []e2ap.Action, opts ShardedOptions) (*ShardedSubscription, error) {
+	if opts.Key == nil {
+		return nil, fmt.Errorf("ric: SubscribeSharded requires ShardedOptions.Key")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultDispatchShards
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 64
+	}
+	ss := &ShardedSubscription{
+		key:    opts.Key,
+		shards: make([]shardQueue, opts.Shards),
+	}
+	for i := range ss.shards {
+		lbl := strconv.Itoa(i)
+		ss.shards[i].ch = make(chan Indication, opts.Buffer)
+		ss.shards[i].routed = obsShardIndications.With(x.name, lbl, "routed")
+		ss.shards[i].dropped = obsShardIndications.With(x.name, lbl, "dropped")
+	}
+	sub := &Subscription{
+		nodeID:     nodeID,
+		fnID:       ranFunctionID,
+		xapp:       x,
+		sharded:    ss,
+		obsRouted:  obsIndications.With(x.name, "routed"),
+		obsDropped: obsIndications.With(x.name, "dropped"),
+	}
+	ss.sub = sub
+	if err := x.establish(sub, eventTrigger, actions, opts.Shards*opts.Buffer); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// ID reports the subscription's E2AP request ID.
+func (ss *ShardedSubscription) ID() e2ap.RequestID { return ss.sub.ID }
+
+// NodeID reports which E2 node the subscription is bound to.
+func (ss *ShardedSubscription) NodeID() string { return ss.sub.nodeID }
+
+// Shards reports the queue count.
+func (ss *ShardedSubscription) Shards() int { return len(ss.shards) }
+
+// C returns shard i's indication stream. All shard channels close when
+// the subscription is deleted or its node disconnects.
+func (ss *ShardedSubscription) C(i int) <-chan Indication { return ss.shards[i].ch }
+
+// Delete tears the subscription down on the node and closes every shard
+// stream.
+func (ss *ShardedSubscription) Delete() error { return ss.sub.Delete() }
+
+// deliver routes one indication to its shard, non-blocking; false means
+// the queue was full or closed (the caller counts the xApp-level drop).
+func (ss *ShardedSubscription) deliver(ind Indication) bool {
+	q := &ss.shards[ss.key(ind)%uint64(len(ss.shards))]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- ind:
+		q.routed.Inc()
+		return true
+	default:
+		q.dropped.Inc()
+		return false
+	}
+}
+
+// closeAll closes every shard channel exactly once, excluding in-flight
+// deliveries.
+func (ss *ShardedSubscription) closeAll() {
+	for i := range ss.shards {
+		q := &ss.shards[i]
+		q.mu.Lock()
+		if !q.closed {
+			q.closed = true
+			close(q.ch)
+		}
+		q.mu.Unlock()
+	}
+}

@@ -62,18 +62,26 @@ type Subscription struct {
 	closed bool
 	ch     chan Indication
 
+	// sharded, when non-nil, replaces the single channel with per-shard
+	// bounded queues (see SubscribeSharded); ch is nil then.
+	sharded *ShardedSubscription
+
 	// Interned per-xApp routing counters; resolved once at Subscribe
 	// so the delivery hot path performs no label lookup.
 	obsRouted  *obs.Counter
 	obsDropped *obs.Counter
 }
 
-// C is the indication stream.
+// C is the indication stream. It is nil for sharded subscriptions; use
+// ShardedSubscription.C instead.
 func (s *Subscription) C() <-chan Indication { return s.ch }
 
 // deliver attempts a non-blocking send; it reports false when the
 // buffer is full or the subscription is already closed.
 func (s *Subscription) deliver(ind Indication) bool {
+	if s.sharded != nil {
+		return s.sharded.deliver(ind)
+	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	if s.closed {
@@ -90,6 +98,10 @@ func (s *Subscription) deliver(ind Indication) bool {
 // closeCh closes the indication stream exactly once, excluding any
 // in-flight deliver.
 func (s *Subscription) closeCh() {
+	if s.sharded != nil {
+		s.sharded.closeAll()
+		return
+	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	if !s.closed {
@@ -157,9 +169,7 @@ func (p *Platform) requestCtx(ctx context.Context, nodeID string, msg *e2ap.Mess
 // buffer drops (counted in Metrics), matching the RMR behavior of the OSC
 // platform.
 func (x *XApp) Subscribe(nodeID string, ranFunctionID uint16, eventTrigger []byte, actions []e2ap.Action, buffer int) (*Subscription, error) {
-	reqID := x.nextRequestID()
 	sub := &Subscription{
-		ID:         reqID,
 		nodeID:     nodeID,
 		fnID:       ranFunctionID,
 		xapp:       x,
@@ -167,15 +177,27 @@ func (x *XApp) Subscribe(nodeID string, ranFunctionID uint16, eventTrigger []byt
 		obsRouted:  obsIndications.With(x.name, "routed"),
 		obsDropped: obsIndications.With(x.name, "dropped"),
 	}
-	// Register before sending so indications racing the response are kept.
+	if err := x.establish(sub, eventTrigger, actions, buffer); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// establish runs the subscription handshake for a prepared Subscription:
+// it assigns the request ID, registers the subscription before sending
+// (so indications racing the response are kept), and rolls the
+// registration back on failure.
+func (x *XApp) establish(sub *Subscription, eventTrigger []byte, actions []e2ap.Action, buffer int) error {
+	reqID := x.nextRequestID()
+	sub.ID = reqID
 	x.platform.mu.Lock()
 	x.platform.subs[reqID] = sub
 	x.platform.mu.Unlock()
 
-	resp, err := x.platform.request(nodeID, &e2ap.Message{
+	resp, err := x.platform.request(sub.nodeID, &e2ap.Message{
 		Type:          e2ap.TypeSubscriptionRequest,
 		RequestID:     reqID,
-		RANFunctionID: ranFunctionID,
+		RANFunctionID: sub.fnID,
 		EventTrigger:  eventTrigger,
 		Actions:       actions,
 	})
@@ -186,15 +208,15 @@ func (x *XApp) Subscribe(nodeID string, ranFunctionID uint16, eventTrigger []byt
 		x.platform.metrics.SubscriptionsFail.Add(1)
 		obsProcedures.With("subscribe", "fail").Inc()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return nil, fmt.Errorf("%w: %s", ErrSubscriptionFailed, resp.Cause)
+		return fmt.Errorf("%w: %s", ErrSubscriptionFailed, resp.Cause)
 	}
 	x.platform.metrics.SubscriptionsOK.Add(1)
 	obsProcedures.With("subscribe", "ok").Inc()
 	obs.L().Info("ric: subscription established",
-		"xapp", x.name, "node", nodeID, "function", ranFunctionID, "buffer", buffer)
-	return sub, nil
+		"xapp", x.name, "node", sub.nodeID, "function", sub.fnID, "buffer", buffer)
+	return nil
 }
 
 // Delete tears the subscription down on the node and closes the stream.

@@ -8,14 +8,38 @@
 // provides an in-process equivalent with the operations the framework
 // needs: get/set/delete with versions, prefix listing, watch subscriptions,
 // and per-key TTL.
+//
+// # Sharding
+//
+// The store is lock-striped into a power-of-two number of shards; every
+// (namespace, key) pair hashes (FNV-1a) to exactly one shard, which owns
+// the entry and the watch delivery for mutations of it. Versions come
+// from a single atomic counter, so they remain globally unique and
+// monotonic across shards: a reader comparing versions observes the
+// store-wide mutation order regardless of which shard served it.
+//
+// Watch events for keys on the same shard are delivered in version order
+// because delivery happens under the shard lock; events from different
+// shards may interleave on the channel, but their Version fields still
+// order them globally. Delivery is always non-blocking (a full watcher
+// buffer drops), and a watcher only appears on the shards its namespace
+// has entries on, so one slow watcher cannot stall writers of unrelated
+// namespaces.
 package sdl
 
 import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// DefaultShards is the lock-stripe count used by New. Sixteen stripes
+// keep per-shard contention negligible for the framework's writer mix
+// (telemetry persist, prov ledger, mitigation journal, A1 policies)
+// without measurable per-shard overhead.
+const DefaultShards = 16
 
 // Event describes one mutation delivered to watchers.
 type Event struct {
@@ -26,14 +50,32 @@ type Event struct {
 	Deleted   bool
 }
 
+// Options configures a Store.
+type Options struct {
+	// Shards is the lock-stripe count, rounded up to a power of two
+	// (default DefaultShards). Shards == 1 yields the unsharded
+	// single-lock layout, which the ingest benchmark uses as its
+	// baseline.
+	Shards int
+	// Clock is injectable for TTL tests (default time.Now).
+	Clock func() time.Time
+}
+
 // Store is the shared data layer. The zero value is not usable; call New.
 type Store struct {
-	mu       sync.RWMutex
-	ns       map[string]map[string]entry
-	version  uint64
-	watchers map[int]*watcher
-	nextWID  int
-	clock    func() time.Time
+	clock   func() time.Time
+	version atomic.Uint64
+	nextWID atomic.Uint64
+	mask    uint32
+	shards  []shard
+}
+
+type shard struct {
+	mu sync.RWMutex
+	ns map[string]map[string]entry
+	// watchers indexes this shard's registered watchers by namespace, so
+	// a mutation touches only the watchers that could match it.
+	watchers map[string]map[uint64]*watcher
 }
 
 type entry struct {
@@ -48,51 +90,109 @@ type watcher struct {
 	ch        chan Event
 }
 
-// New returns an empty store using the real clock.
-func New() *Store { return NewWithClock(time.Now) }
+// New returns an empty store using the real clock and DefaultShards.
+func New() *Store { return NewWithOptions(Options{}) }
 
 // NewWithClock returns a store with an injectable clock for TTL tests.
 func NewWithClock(clock func() time.Time) *Store {
-	return &Store{
-		ns:       make(map[string]map[string]entry),
-		watchers: make(map[int]*watcher),
-		clock:    clock,
+	return NewWithOptions(Options{Clock: clock})
+}
+
+// NewWithOptions returns a store with explicit shard count and clock.
+func NewWithOptions(o Options) *Store {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
 	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	s := &Store{clock: o.Clock, mask: uint32(n - 1), shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].ns = make(map[string]map[string]entry)
+		s.shards[i].watchers = make(map[string]map[uint64]*watcher)
+	}
+	return s
+}
+
+// ShardCount reports the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// shardFor hashes (namespace, key) with FNV-1a onto a stripe.
+func (s *Store) shardFor(namespace, key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(namespace); i++ {
+		h = (h ^ uint64(namespace[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("a","bc") ≠ ("ab","c")
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	return &s.shards[uint32(h^(h>>32))&s.mask]
 }
 
 // Set stores value under (namespace, key) and returns the new version.
-// The value is copied.
+// The value is copied, so the caller may reuse its buffer.
 func (s *Store) Set(namespace, key string, value []byte) uint64 {
-	return s.SetTTL(namespace, key, value, 0)
+	return s.set(namespace, key, value, 0, true)
 }
 
 // SetTTL stores value with a time-to-live; ttl <= 0 means no expiry.
+// The value is copied.
 func (s *Store) SetTTL(namespace, key string, value []byte, ttl time.Duration) uint64 {
-	s.mu.Lock()
-	m, ok := s.ns[namespace]
+	return s.set(namespace, key, value, ttl, true)
+}
+
+// SetOwned stores value under (namespace, key) WITHOUT copying: the store
+// takes ownership of the slice and the caller must not read or mutate it
+// afterwards. It exists for single-use buffers on hot write paths (the
+// provenance ledger and mitigation journal marshal a fresh buffer per
+// event and discard it), where the defensive copy of Set is pure waste.
+func (s *Store) SetOwned(namespace, key string, value []byte) uint64 {
+	return s.set(namespace, key, value, 0, false)
+}
+
+// SetOwnedTTL is SetOwned with a time-to-live; ttl <= 0 means no expiry.
+func (s *Store) SetOwnedTTL(namespace, key string, value []byte, ttl time.Duration) uint64 {
+	return s.set(namespace, key, value, ttl, false)
+}
+
+func (s *Store) set(namespace, key string, value []byte, ttl time.Duration, copyValue bool) uint64 {
+	if copyValue {
+		value = append([]byte(nil), value...)
+	}
+	sh := s.shardFor(namespace, key)
+	sh.mu.Lock()
+	m, ok := sh.ns[namespace]
 	if !ok {
 		m = make(map[string]entry)
-		s.ns[namespace] = m
+		sh.ns[namespace] = m
 	}
-	s.version++
-	v := s.version
-	e := entry{value: append([]byte(nil), value...), version: v}
+	v := s.version.Add(1)
+	e := entry{value: value, version: v}
 	if ttl > 0 {
 		e.expiresAt = s.clock().Add(ttl)
 	}
 	m[key] = e
-	s.mu.Unlock()
-
-	s.notify(Event{Namespace: namespace, Key: key, Value: e.value, Version: v})
+	sh.notifyLocked(Event{Namespace: namespace, Key: key, Value: e.value, Version: v})
+	sh.mu.Unlock()
 	return v
 }
 
 // Get returns the value and version for (namespace, key). ok is false if
 // the key is absent or expired. The returned slice must not be mutated.
 func (s *Store) Get(namespace, key string) (value []byte, version uint64, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.ns[namespace][key]
+	sh := s.shardFor(namespace, key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.ns[namespace][key]
 	if !ok || s.expired(e) {
 		return nil, 0, false
 	}
@@ -101,30 +201,33 @@ func (s *Store) Get(namespace, key string) (value []byte, version uint64, ok boo
 
 // Delete removes a key; it reports whether the key existed.
 func (s *Store) Delete(namespace, key string) bool {
-	s.mu.Lock()
-	m := s.ns[namespace]
+	sh := s.shardFor(namespace, key)
+	sh.mu.Lock()
+	m := sh.ns[namespace]
 	e, ok := m[key]
 	if ok {
 		delete(m, key)
-		s.version++
+		v := s.version.Add(1)
+		if !s.expired(e) {
+			sh.notifyLocked(Event{Namespace: namespace, Key: key, Version: v, Deleted: true})
+		}
 	}
-	v := s.version
-	s.mu.Unlock()
-	if ok && !s.expired(e) {
-		s.notify(Event{Namespace: namespace, Key: key, Version: v, Deleted: true})
-	}
+	sh.mu.Unlock()
 	return ok
 }
 
 // Keys lists the live keys in a namespace with the given prefix, sorted.
 func (s *Store) Keys(namespace, prefix string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []string
-	for k, e := range s.ns[namespace] {
-		if strings.HasPrefix(k, prefix) && !s.expired(e) {
-			out = append(out, k)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.ns[namespace] {
+			if strings.HasPrefix(k, prefix) && !s.expired(e) {
+				out = append(out, k)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -133,13 +236,16 @@ func (s *Store) Keys(namespace, prefix string) []string {
 // GetAll returns all live (key, value) pairs under a prefix; values are
 // copies.
 func (s *Store) GetAll(namespace, prefix string) map[string][]byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make(map[string][]byte)
-	for k, e := range s.ns[namespace] {
-		if strings.HasPrefix(k, prefix) && !s.expired(e) {
-			out[k] = append([]byte(nil), e.value...)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.ns[namespace] {
+			if strings.HasPrefix(k, prefix) && !s.expired(e) {
+				out[k] = append([]byte(nil), e.value...)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -151,29 +257,54 @@ func (s *Store) expired(e entry) bool {
 // Watch subscribes to mutations in a namespace under a key prefix. The
 // returned channel has the given buffer; events overflowing a full buffer
 // are dropped (watchers must keep up, as with the OSC notification
-// service). cancel stops delivery and closes the channel.
+// service). Events originating on one shard arrive in version order;
+// events from different shards may interleave, but Version always orders
+// them globally. cancel stops delivery and closes the channel.
 func (s *Store) Watch(namespace, prefix string, buffer int) (events <-chan Event, cancel func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextWID
-	s.nextWID++
+	id := s.nextWID.Add(1)
 	w := &watcher{namespace: namespace, prefix: prefix, ch: make(chan Event, buffer)}
-	s.watchers[id] = w
-	return w.ch, func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if ww, ok := s.watchers[id]; ok {
-			delete(s.watchers, id)
-			close(ww.ch)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		m := sh.watchers[namespace]
+		if m == nil {
+			m = make(map[uint64]*watcher)
+			sh.watchers[namespace] = m
 		}
+		m[id] = w
+		sh.mu.Unlock()
+	}
+	var once sync.Once
+	return w.ch, func() {
+		once.Do(func() {
+			// Deregister from every shard first; delivery happens under
+			// the shard lock, so after this loop no send can race the
+			// close below.
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				if m := sh.watchers[namespace]; m != nil {
+					delete(m, id)
+					if len(m) == 0 {
+						delete(sh.watchers, namespace)
+					}
+				}
+				sh.mu.Unlock()
+			}
+			close(w.ch)
+		})
 	}
 }
 
-func (s *Store) notify(ev Event) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, w := range s.watchers {
-		if w.namespace != ev.Namespace || !strings.HasPrefix(ev.Key, w.prefix) {
+// notifyLocked delivers an event to this shard's watchers of the event's
+// namespace. Caller holds the shard lock, which is what serializes
+// deliveries into version order per shard; sends never block.
+func (sh *shard) notifyLocked(ev Event) {
+	if len(sh.watchers) == 0 {
+		return
+	}
+	for _, w := range sh.watchers[ev.Namespace] {
+		if !strings.HasPrefix(ev.Key, w.prefix) {
 			continue
 		}
 		select {
@@ -185,29 +316,35 @@ func (s *Store) notify(ev Event) {
 
 // Purge removes expired entries and returns how many were dropped.
 func (s *Store) Purge() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, m := range s.ns {
-		for k, e := range m {
-			if s.expired(e) {
-				delete(m, k)
-				n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.ns {
+			for k, e := range m {
+				if s.expired(e) {
+					delete(m, k)
+					n++
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Len reports the number of live keys in a namespace.
 func (s *Store) Len(namespace string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, e := range s.ns[namespace] {
-		if !s.expired(e) {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.ns[namespace] {
+			if !s.expired(e) {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }

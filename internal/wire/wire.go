@@ -39,7 +39,13 @@ type Conn struct {
 	nc net.Conn
 
 	writeMu sync.Mutex
-	readMu  sync.Mutex
+	// hdr and bufs are the send scratch state, guarded by writeMu: the
+	// frame header and payload go out as one gathered write (writev on
+	// TCP), so a frame costs one syscall instead of two.
+	hdr  [4]byte
+	bufs net.Buffers
+
+	readMu sync.Mutex
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -66,19 +72,21 @@ func (c *Conn) Send(payload []byte) error {
 		return ErrClosed
 	default:
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if _, err := c.nc.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing frame header: %w", err)
-	}
+	binary.BigEndian.PutUint32(c.hdr[:], uint32(len(payload)))
 	if len(payload) == 0 {
+		if _, err := c.nc.Write(c.hdr[:]); err != nil {
+			return fmt.Errorf("wire: writing frame header: %w", err)
+		}
 		return nil
 	}
-	if _, err := c.nc.Write(payload); err != nil {
-		return fmt.Errorf("wire: writing frame payload: %w", err)
+	// Header and payload leave in a single gathered write. bufs is
+	// reused across sends (WriteTo consumes it), so the steady state
+	// allocates nothing.
+	c.bufs = append(c.bufs[:0], c.hdr[:], payload)
+	if _, err := c.bufs.WriteTo(c.nc); err != nil {
+		return fmt.Errorf("wire: writing %d-byte frame: %w", len(payload), err)
 	}
 	return nil
 }

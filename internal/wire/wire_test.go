@@ -276,3 +276,43 @@ func BenchmarkPipeSendRecv(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTCPSend measures Conn.Send over a real TCP socket, where the
+// gathered header+payload write (one writev syscall per frame instead of
+// two write syscalls) is visible; a discarding reader drains the peer.
+func BenchmarkTCPSend(b *testing.B) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5a}, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Close()
+	<-done
+}
