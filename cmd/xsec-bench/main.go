@@ -9,6 +9,7 @@
 //	xsec-bench -ablation threshold  # window | threshold | bottleneck
 //	xsec-bench -quick -table 2      # reduced dataset / epochs
 //	xsec-bench -nn                  # NN hot-path baseline → BENCH_nn.json
+//	xsec-bench -nn -smoke           # reduced NN workload (CI path check)
 //	xsec-bench -obs                 # live-pipeline metrics baseline → BENCH_obs.json
 //	xsec-bench -mitigate            # closed-loop mitigation baseline → BENCH_mitigate.json
 //	xsec-bench -prov                # provenance ledger baseline → BENCH_prov.json
@@ -37,7 +38,7 @@ func main() {
 		mitBench    = flag.Bool("mitigate", false, "measure the closed mitigation loop under the DoS attacks")
 		provBench   = flag.Bool("prov", false, "measure provenance ledger overhead and chain reconstruction")
 		ingestBench = flag.Bool("ingest", false, "measure the telemetry ingest path, scaled vs unsharded baseline")
-		smoke       = flag.Bool("smoke", false, "shrink the ingest workload so CI exercises the path quickly")
+		smoke       = flag.Bool("smoke", false, "shrink the -ingest/-nn workload so CI exercises the path quickly")
 		outPath     = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
 	)
 	flag.Parse()
@@ -62,7 +63,12 @@ func main() {
 	}
 
 	if *nnBench {
-		res, err := bench.RunNNBench(cfg)
+		if *smoke && !*quick {
+			// Smoke mode is a CI path check; pair the short measurement
+			// windows with the reduced dataset unless -quick was given.
+			cfg = bench.Quick(*seed)
+		}
+		res, err := bench.RunNNBench(cfg, *smoke)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
 			os.Exit(1)

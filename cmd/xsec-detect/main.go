@@ -6,6 +6,7 @@
 //	xsec-detect -models models.json -csv capture.csv
 //	xsec-detect -models models.json -demo          # score a generated attack dataset
 //	xsec-detect ... -show 10                       # print the top-N anomalous windows
+//	xsec-detect ... -inference i8                  # scoring precision: f32 (default), i8, f64
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/dataset"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/nn"
 )
 
 func main() {
@@ -26,15 +28,20 @@ func main() {
 		demo      = flag.Bool("demo", false, "score a generated attack dataset instead of a file")
 		show      = flag.Int("show", 5, "print the N highest-scoring windows")
 		seed      = flag.Int64("seed", 2, "demo dataset seed")
+		inference = flag.String("inference", "", "scoring precision: f32 (default), i8, or f64")
 	)
 	flag.Parse()
-	if err := run(*modelPath, *csvIn, *demo, *show, *seed); err != nil {
+	if err := run(*modelPath, *csvIn, *demo, *show, *seed, *inference); err != nil {
 		fmt.Fprintln(os.Stderr, "xsec-detect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, csvIn string, demo bool, show int, seed int64) error {
+func run(modelPath, csvIn string, demo bool, show int, seed int64, inference string) error {
+	prec, err := nn.ParsePrecision(inference)
+	if err != nil {
+		return err
+	}
 	bundle, err := os.ReadFile(modelPath)
 	if err != nil {
 		return err
@@ -70,8 +77,8 @@ func run(modelPath, csvIn string, demo bool, show int, seed int64) error {
 		return fmt.Errorf("provide -csv FILE or -demo")
 	}
 
-	aeScores := models.ScoreTraceAE(trace)
-	lstmScores := models.ScoreTraceLSTM(trace)
+	aeScores := models.ScoreTraceAEBatched(trace, prec)
+	lstmScores := models.ScoreTraceLSTMBatched(trace, prec)
 
 	report := func(name string, scores []mobiwatch.WindowScore, span int) {
 		anomalous := 0

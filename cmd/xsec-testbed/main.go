@@ -10,6 +10,7 @@
 //	xsec-testbed -auto                # apply closed-loop controls automatically
 //	xsec-testbed -mitigate enforce    # governed mitigation engine (off | dry-run | enforce)
 //	xsec-testbed -model llama3        # pick the analyst personality
+//	xsec-testbed -inference i8        # MobiWatch scoring precision (f32 | i8 | f64)
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		seed        = flag.Int64("seed", 4, "seed")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. :9090)")
 		logLevel    = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level: debug | info | warn | error")
+		inference   = flag.String("inference", "", "MobiWatch scoring precision: f32 (default), i8, or f64")
 	)
 	flag.Parse()
 	if *logLevel != "" {
@@ -48,13 +50,13 @@ func main() {
 		obs.SetLogOutput(os.Stderr)
 		obs.SetLogLevel(lv)
 	}
-	if err := run(*attack, *auto, *mitigateMod, *model, *sessions, *epochs, *seed, *metricsAddr); err != nil {
+	if err := run(*attack, *auto, *mitigateMod, *model, *sessions, *epochs, *seed, *metricsAddr, *inference); err != nil {
 		fmt.Fprintln(os.Stderr, "xsec-testbed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(attack string, auto bool, mitigateMode, model string, sessions, epochs int, seed int64, metricsAddr string) error {
+func run(attack string, auto bool, mitigateMode, model string, sessions, epochs int, seed int64, metricsAddr, inference string) error {
 	fmt.Println("=== 6G-XSec testbed ===")
 	fw, err := core.New(core.Options{
 		Seed:         seed,
@@ -64,6 +66,7 @@ func run(attack string, auto bool, mitigateMode, model string, sessions, epochs 
 		AutoRespond:  auto,
 		Mitigate:     mitigateMode,
 		MetricsAddr:  metricsAddr,
+		Inference:    inference,
 	})
 	if err != nil {
 		return err

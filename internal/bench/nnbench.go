@@ -22,16 +22,26 @@ type NNBenchEntry struct {
 	Ops     int     `json:"ops"`
 }
 
-// NNBenchResult is the machine-readable baseline. Speedups compare the
-// worker-pool trace-scoring path against the sequential one on this
+// NNBenchResult is the machine-readable baseline. Trace speedups compare
+// the worker-pool trace-scoring path against the sequential one on this
 // machine; they approach 1.0 on a single core and scale with GOMAXPROCS.
+// Batch speedups compare the batched GEMM inference engine (per-window
+// ns at the given precision) against the scalar float64 window scores —
+// a per-core number, independent of GOMAXPROCS.
 type NNBenchResult struct {
 	GoMaxProcs   int            `json:"gomaxprocs"`
 	NumCPU       int            `json:"num_cpu"`
+	SIMD         string         `json:"simd"`
 	TraceWindows int            `json:"trace_windows"`
+	BatchWindows int            `json:"batch_windows"`
 	Entries      []NNBenchEntry `json:"entries"`
 	SpeedupAE    float64        `json:"trace_ae_speedup"`
 	SpeedupLSTM  float64        `json:"trace_lstm_speedup"`
+
+	BatchSpeedupAE   float64 `json:"ae_batch_f32_speedup"`
+	BatchSpeedupLSTM float64 `json:"lstm_batch_f32_speedup"`
+	QuantSpeedupAE   float64 `json:"ae_batch_i8_speedup"`
+	QuantSpeedupLSTM float64 `json:"lstm_batch_i8_speedup"`
 }
 
 // measure times f until at least minTime has elapsed and returns the
@@ -55,9 +65,16 @@ func measure(minTime time.Duration, f func()) NNBenchEntry {
 	return NNBenchEntry{NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops), Ops: ops}
 }
 
+// batchN is the window-batch size the batched-inference entries score
+// per GEMM call, matching the xApp fast path's default flush size order
+// of magnitude.
+const batchN = 32
+
 // RunNNBench builds the cached experiment environment and measures the
-// NN hot paths.
-func RunNNBench(cfg Config) (*NNBenchResult, error) {
+// NN hot paths. Smoke mode shrinks the measurement windows so CI can
+// exercise every entry in seconds; its numbers are noisier and not
+// meant to be committed as the baseline.
+func RunNNBench(cfg Config, smoke bool) (*NNBenchResult, error) {
 	env, err := BuildEnv(cfg)
 	if err != nil {
 		return nil, err
@@ -73,9 +90,14 @@ func RunNNBench(cfg Config) (*NNBenchResult, error) {
 	res := &NNBenchResult{
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
+		SIMD:         nn.SIMD(),
 		TraceWindows: len(wins),
+		BatchWindows: batchN,
 	}
-	const minTime = 200 * time.Millisecond
+	minTime := 200 * time.Millisecond
+	if smoke {
+		minTime = 20 * time.Millisecond
+	}
 	add := func(name string, minT time.Duration, f func()) NNBenchEntry {
 		e := measure(minT, f)
 		e.Name = name
@@ -85,15 +107,73 @@ func RunNNBench(cfg Config) (*NNBenchResult, error) {
 
 	scratch := models.NewScoreScratch()
 	i := 0
-	add("ae_window_score", minTime, func() {
+	aeScalar := add("ae_window_score", minTime, func() {
 		models.ScoreAEWindowWith(scratch, wins[i%len(wins)])
 		i++
 	})
 	j := 0
-	add("lstm_window_score", minTime, func() {
+	lstmScalar := add("lstm_window_score", minTime, func() {
 		models.LSTM.ScoreWith(scratch.LSTM, winsL[j%len(winsL)], nexts[j%len(winsL)])
 		j++
 	})
+
+	// Batched fast-path inference: one tiled GEMM per layer across a
+	// batchN-window tensor with float32 or int8 weights (internal/nn).
+	// Entries are normalized to ns per window so they compare directly
+	// against the scalar rows above; the *_speedup fields carry the
+	// ratio.
+	recDim := models.RecordDim()
+	eng32 := models.Engines(nn.Float32)
+	eng8 := models.Engines(nn.Int8)
+	batchScores := make([]float32, batchN)
+	addPerWindow := func(name string, f func()) NNBenchEntry {
+		e := measure(minTime, f)
+		e.NsPerOp /= batchN
+		e.Name = name
+		res.Entries = append(res.Entries, e)
+		return e
+	}
+
+	xbAE := make([]float32, 0, batchN*len(wins[0]))
+	for m := 0; m < batchN; m++ {
+		for _, v := range wins[m%len(wins)] {
+			xbAE = append(xbAE, float32(v))
+		}
+	}
+	aeScratch32, aeScratch8 := eng32.AE.NewBatchScratch(), eng8.AE.NewBatchScratch()
+	aeF32 := addPerWindow("ae_batch_f32", func() {
+		eng32.AE.ScoreBatch(aeScratch32, xbAE, batchN, recDim, batchScores)
+	})
+	aeI8 := addPerWindow("ae_batch_i8", func() {
+		eng8.AE.ScoreBatch(aeScratch8, xbAE, batchN, recDim, batchScores)
+	})
+
+	// LSTM batch tensor: window-major, then timestep-major (timestep t
+	// of window m at xb[(m*T+t)*recDim:]).
+	T := models.Window
+	xbL := make([]float32, 0, batchN*T*recDim)
+	tgtL := make([]float32, 0, batchN*recDim)
+	for m := 0; m < batchN; m++ {
+		for _, vec := range winsL[m%len(winsL)] {
+			for _, v := range vec {
+				xbL = append(xbL, float32(v))
+			}
+		}
+		for _, v := range nexts[m%len(winsL)] {
+			tgtL = append(tgtL, float32(v))
+		}
+	}
+	lstmScratch32, lstmScratch8 := eng32.LSTM.NewBatchScratch(), eng8.LSTM.NewBatchScratch()
+	lstmF32 := addPerWindow("lstm_batch_f32", func() {
+		eng32.LSTM.ScoreBatch(lstmScratch32, xbL, tgtL, batchN, T, batchScores)
+	})
+	lstmI8 := addPerWindow("lstm_batch_i8", func() {
+		eng8.LSTM.ScoreBatch(lstmScratch8, xbL, tgtL, batchN, T, batchScores)
+	})
+	res.BatchSpeedupAE = aeScalar.NsPerOp / aeF32.NsPerOp
+	res.QuantSpeedupAE = aeScalar.NsPerOp / aeI8.NsPerOp
+	res.BatchSpeedupLSTM = lstmScalar.NsPerOp / lstmF32.NsPerOp
+	res.QuantSpeedupLSTM = lstmScalar.NsPerOp / lstmI8.NsPerOp
 
 	aeSeq := add("trace_ae_sequential", minTime, func() {
 		models.ScoreTraceAEParallel(env.Mixed.Trace, 1)
@@ -140,10 +220,13 @@ func (r *NNBenchResult) Format() string {
 	for _, e := range r.Entries {
 		rows = append(rows, []string{e.Name, fmt.Sprintf("%.0f", e.NsPerOp), fmt.Sprintf("%d", e.Ops)})
 	}
-	out := fmt.Sprintf("NN hot-path baseline (GOMAXPROCS=%d, %d trace windows)\n\n",
-		r.GoMaxProcs, r.TraceWindows)
+	out := fmt.Sprintf("NN hot-path baseline (GOMAXPROCS=%d, simd=%s, %d trace windows)\n\n",
+		r.GoMaxProcs, r.SIMD, r.TraceWindows)
 	out += formatTable([]string{"op", "ns/op", "ops"}, rows)
 	out += fmt.Sprintf("\ntrace scoring speedup: AE %.2fx, LSTM %.2fx (parallel vs sequential)\n",
 		r.SpeedupAE, r.SpeedupLSTM)
+	out += fmt.Sprintf("batched inference speedup per window vs scalar float64 (batch=%d):\n", r.BatchWindows)
+	out += fmt.Sprintf("  AE   f32 %.1fx, i8 %.1fx\n", r.BatchSpeedupAE, r.QuantSpeedupAE)
+	out += fmt.Sprintf("  LSTM f32 %.1fx, i8 %.1fx\n", r.BatchSpeedupLSTM, r.QuantSpeedupLSTM)
 	return out
 }

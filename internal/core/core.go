@@ -51,6 +51,10 @@ type Options struct {
 	ReportPeriod time.Duration
 	// TrainOpts parameterizes MobiWatch training.
 	TrainOpts mobiwatch.TrainOptions
+	// Inference selects the MobiWatch scoring precision: "f32" (the
+	// default batched fast path), "i8", or "f64" (the scalar reference
+	// path). See mobiwatch.RunOptions.Inference.
+	Inference string
 	// LLMModel selects the analyst personality (default "chatgpt-4o").
 	LLMModel string
 	// LLMBaseURL points at an external endpoint; empty starts the
@@ -296,6 +300,7 @@ func (f *Framework) DeployXApps() error {
 	f.watch, err = mobiwatch.Run(f.xappWatch, f.Models, mobiwatch.RunOptions{
 		NodeID:       f.Opts.NodeID,
 		ReportPeriod: f.Opts.ReportPeriod,
+		Inference:    f.Opts.Inference,
 	})
 	if err != nil {
 		return err

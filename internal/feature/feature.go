@@ -123,6 +123,10 @@ type Encoder struct {
 	// lastTS is the previous record's timestamp for inter-arrival
 	// features (zero until the first record).
 	lastTS time.Time
+
+	// buf stages EncodeF32 output so the float32 path allocates nothing
+	// in steady state.
+	buf []float64
 }
 
 // NewEncoder returns an Encoder over vocab with empty identity history.
@@ -149,6 +153,30 @@ func (e *Encoder) Dim() int { return Dim(e.vocab) }
 // identity history.
 func (e *Encoder) Encode(r mobiflow.Record) []float64 {
 	out := make([]float64, e.Dim())
+	e.encodeInto(out, r)
+	return out
+}
+
+// EncodeF32 encodes one record into dst (len ≥ e.Dim()) as float32,
+// updating the identity history exactly like Encode — the fast-path
+// variant feeding batched inference tensors. It stages through a reused
+// internal buffer, so steady-state calls perform no heap allocation.
+func (e *Encoder) EncodeF32(dst []float32, r mobiflow.Record) {
+	if e.buf == nil {
+		e.buf = make([]float64, e.Dim())
+	}
+	e.encodeInto(e.buf, r)
+	for i, v := range e.buf {
+		dst[i] = float32(v)
+	}
+}
+
+// encodeInto writes the feature vector of r into out (len == e.Dim()),
+// zeroing it first, and updates the identity history.
+func (e *Encoder) encodeInto(out []float64, r mobiflow.Record) {
+	for i := range out {
+		out[i] = 0
+	}
 	pos := 0
 
 	// Message one-hot (with unknown bucket).
@@ -286,7 +314,6 @@ func (e *Encoder) Encode(r mobiflow.Record) []float64 {
 	if pos != len(out) {
 		panic(fmt.Sprintf("feature: encoded %d of %d dims", pos, len(out)))
 	}
-	return out
 }
 
 // Vectorize encodes an entire trace with a fresh Encoder.
@@ -328,6 +355,69 @@ func WindowsLSTM(vecs [][]float64, n int) (windows [][][]float64, nexts [][]floa
 		nexts = append(nexts, vecs[i+n])
 	}
 	return windows, nexts
+}
+
+// RowBuffer accumulates encoded records as contiguous float32 rows — the
+// staging area between the streaming encoder and a batched inference
+// tensor. Records are encoded directly into the buffer's backing array
+// and windows are appended to the batch tensor with one contiguous copy,
+// so the feature→tensor path performs no steady-state heap allocation.
+type RowBuffer struct {
+	dim  int
+	rows []float32 // flat, Len()×dim
+}
+
+// NewRowBuffer returns an empty buffer for rows of the given dimension.
+func NewRowBuffer(dim int) *RowBuffer {
+	if dim <= 0 {
+		panic("feature: NewRowBuffer needs dim > 0")
+	}
+	return &RowBuffer{dim: dim}
+}
+
+// Dim returns the per-row feature dimension.
+func (b *RowBuffer) Dim() int { return b.dim }
+
+// Len returns the number of buffered rows.
+func (b *RowBuffer) Len() int { return len(b.rows) / b.dim }
+
+// Push encodes r through e directly into the buffer's next row. The
+// backing array grows geometrically and is then reused, so a buffer that
+// is Trimmed back down stops allocating.
+func (b *RowBuffer) Push(e *Encoder, r mobiflow.Record) {
+	n := len(b.rows)
+	if cap(b.rows) < n+b.dim {
+		grown := make([]float32, n, 2*(n+b.dim))
+		copy(grown, b.rows)
+		b.rows = grown
+	}
+	b.rows = b.rows[:n+b.dim]
+	e.EncodeF32(b.rows[n:n+b.dim], r)
+}
+
+// Trim drops the oldest drop rows, sliding the rest down in place.
+func (b *RowBuffer) Trim(drop int) {
+	if drop <= 0 {
+		return
+	}
+	if drop >= b.Len() {
+		b.rows = b.rows[:0]
+		return
+	}
+	kept := copy(b.rows, b.rows[drop*b.dim:])
+	b.rows = b.rows[:kept]
+}
+
+// Row returns a view of row i, valid until the next Push or Trim.
+func (b *RowBuffer) Row(i int) []float32 {
+	return b.rows[i*b.dim : (i+1)*b.dim]
+}
+
+// AppendWindowF32 appends rows [start, start+n) to dst as one flattened
+// window — a single contiguous copy into the batch tensor. With dst
+// capacity pre-sized it performs no allocation.
+func (b *RowBuffer) AppendWindowF32(dst []float32, start, n int) []float32 {
+	return append(dst, b.rows[start*b.dim:(start+n)*b.dim]...)
 }
 
 // WindowLabels derives per-window labels from per-record labels using the

@@ -1,0 +1,150 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/cell"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/nas"
+	"github.com/6g-xsec/xsec/internal/rrc"
+)
+
+// variedTrace generates records that exercise every feature group the
+// encoder derives state from: identities, security config, protocol
+// states, and timestamps (inter-arrival / burst features).
+func variedTrace(n int, seed int64) mobiflow.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	msgs := []string{"RRCSetupRequest", "RRCSetup", "RegistrationRequest", "never-seen"}
+	ts := time.Unix(1700000000, 0)
+	tr := make(mobiflow.Trace, n)
+	for i := range tr {
+		ts = ts.Add(time.Duration(rng.Intn(20)) * time.Millisecond)
+		r := mobiflow.Record{
+			Msg:       msgs[rng.Intn(len(msgs))],
+			UEID:      uint64(rng.Intn(6)),
+			RNTI:      cell.RNTI(rng.Intn(8)),
+			TMSI:      cell.TMSI(rng.Intn(5)),
+			Dir:       cell.Uplink,
+			Timestamp: ts,
+			RRCState:  rrc.State(rng.Intn(6)),
+			NASState:  nas.State(rng.Intn(6)),
+			CipherAlg: cell.CipherAlg(rng.Intn(4)),
+			IntegAlg:  cell.IntegAlg(rng.Intn(4)),
+		}
+		r.SecurityOn = rng.Intn(2) == 0
+		r.OutOfOrder = rng.Intn(8) == 0
+		if rng.Intn(4) == 0 {
+			r.SUPI = "imsi-00101999"
+		}
+		tr[i] = r
+	}
+	return tr
+}
+
+// TestEncodeF32MatchesEncode is the parity contract of the zero-copy
+// path: EncodeF32 must produce exactly float32(Encode(r)[i]) for every
+// feature, with identical identity-history evolution.
+func TestEncodeF32MatchesEncode(t *testing.T) {
+	tr := variedTrace(300, 7)
+	v := BuildVocabulary(tr)
+	e64, e32 := NewEncoder(v), NewEncoder(v)
+	dst := make([]float32, e32.Dim())
+	for i, r := range tr {
+		want := e64.Encode(r)
+		e32.EncodeF32(dst, r)
+		for j := range want {
+			if dst[j] != float32(want[j]) {
+				t.Fatalf("record %d feature %d: EncodeF32 = %g, Encode = %g", i, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRowBufferWindows checks Push/Trim/AppendWindowF32 bookkeeping
+// against independently encoded rows.
+func TestRowBufferWindows(t *testing.T) {
+	tr := variedTrace(40, 9)
+	v := BuildVocabulary(tr)
+	ref := Vectorize(tr, v)
+	enc := NewEncoder(v)
+	b := NewRowBuffer(Dim(v))
+
+	for i, r := range tr {
+		b.Push(enc, r)
+		if b.Len() != i+1 {
+			t.Fatalf("Len after %d pushes = %d", i+1, b.Len())
+		}
+	}
+	for i, want := range ref {
+		row := b.Row(i)
+		for j := range want {
+			if row[j] != float32(want[j]) {
+				t.Fatalf("row %d feature %d = %g, want %g", i, j, row[j], want[j])
+			}
+		}
+	}
+
+	// A flattened window is the concatenation of its rows.
+	const start, n = 5, 4
+	win := b.AppendWindowF32(nil, start, n)
+	if len(win) != n*b.Dim() {
+		t.Fatalf("window len = %d, want %d", len(win), n*b.Dim())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < b.Dim(); j++ {
+			if win[i*b.Dim()+j] != float32(ref[start+i][j]) {
+				t.Fatalf("window row %d feature %d mismatch", i, j)
+			}
+		}
+	}
+
+	// Trim slides surviving rows down.
+	b.Trim(10)
+	if b.Len() != len(tr)-10 {
+		t.Fatalf("Len after Trim(10) = %d, want %d", b.Len(), len(tr)-10)
+	}
+	row := b.Row(0)
+	for j := range ref[10] {
+		if row[j] != float32(ref[10][j]) {
+			t.Fatalf("post-trim row 0 feature %d = %g, want %g", j, row[j], ref[10][j])
+		}
+	}
+	b.Trim(b.Len() + 5)
+	if b.Len() != 0 {
+		t.Fatalf("Len after over-trim = %d, want 0", b.Len())
+	}
+}
+
+// TestFeatureToTensorZeroAllocs proves the streaming feature→tensor path
+// allocates nothing in steady state: a warm RowBuffer cycles Push/Trim
+// without touching the heap, and window extraction into a pre-sized
+// batch tensor is a pure copy.
+func TestFeatureToTensorZeroAllocs(t *testing.T) {
+	tr := variedTrace(64, 11)
+	v := BuildVocabulary(tr)
+	enc := NewEncoder(v)
+	b := NewRowBuffer(Dim(v))
+	// Warm up: identity maps and the buffer's backing array reach their
+	// steady-state footprint.
+	for _, r := range tr {
+		b.Push(enc, r)
+	}
+	b.Trim(b.Len())
+	for _, r := range tr[:16] {
+		b.Push(enc, r)
+	}
+
+	const winSize = 4
+	batch := make([]float32, 0, 16*winSize*b.Dim())
+	i := 0
+	if a := testing.AllocsPerRun(200, func() {
+		b.Push(enc, tr[i%len(tr)])
+		batch = b.AppendWindowF32(batch[:0], b.Len()-winSize, winSize)
+		b.Trim(1)
+		i++
+	}); a != 0 {
+		t.Errorf("feature→tensor cycle allocates %v/op, want 0", a)
+	}
+}

@@ -1,0 +1,174 @@
+package mobiwatch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/nn"
+)
+
+// Divergence bounds for the reduced-precision engines against the
+// float64 reference scores, asserted per attack class below. Float32
+// loses only arithmetic rounding; int8 quantizes each weight row to 255
+// levels, so scores can shift by a few percent.
+const (
+	f32ScoreRel = 1e-4
+	f32ScoreAbs = 1e-6
+	i8ScoreRel  = 0.08
+	i8ScoreAbs  = 1e-3
+)
+
+// windowClass maps a window covering records [start, end) to the attack
+// class of its first malicious record, or -1 for benign windows —
+// mirroring the paper's any-malicious-record window labeling.
+func windowClass(attackOf []int, start, end int) int {
+	for i := start; i < end; i++ {
+		if attackOf[i] >= 0 {
+			return attackOf[i]
+		}
+	}
+	return -1
+}
+
+// TestBatchedScoreDivergenceByAttackClass is the score-equivalence
+// contract of the fast inference engine: across every seeded attack
+// class (plus benign windows), batched float32 and int8 scores must stay
+// within the documented bounds of the float64 reference, and float32
+// threshold crossings must agree exactly on the seed dataset.
+func TestBatchedScoreDivergenceByAttackClass(t *testing.T) {
+	_, mixed, models := fixtures(t)
+	N := models.Window
+
+	for _, det := range []struct {
+		name  string
+		ref   []WindowScore
+		span  int // records covered by window i: [i, i+span)
+		score func(prec nn.Precision) []WindowScore
+	}{
+		{"ae", models.ScoreTraceAE(mixed.Trace), N,
+			func(p nn.Precision) []WindowScore { return models.ScoreTraceAEBatched(mixed.Trace, p) }},
+		{"lstm", models.ScoreTraceLSTM(mixed.Trace), N + 1,
+			func(p nn.Precision) []WindowScore { return models.ScoreTraceLSTMBatched(mixed.Trace, p) }},
+	} {
+		t.Run(det.name, func(t *testing.T) {
+			for _, prec := range []struct {
+				p        nn.Precision
+				rel, abs float64
+				strict   bool // threshold crossings must agree exactly
+			}{
+				{nn.Float32, f32ScoreRel, f32ScoreAbs, true},
+				{nn.Int8, i8ScoreRel, i8ScoreAbs, false},
+			} {
+				got := det.score(prec.p)
+				if len(got) != len(det.ref) {
+					t.Fatalf("%v: %d windows, reference %d", prec.p, len(got), len(det.ref))
+				}
+				worst := map[int]float64{}
+				classes := map[int]int{}
+				for i := range got {
+					cls := windowClass(mixed.AttackOf, i, i+det.span)
+					classes[cls]++
+					d := math.Abs(got[i].Score - det.ref[i].Score)
+					if d > worst[cls] {
+						worst[cls] = d
+					}
+					if d > prec.abs+prec.rel*math.Abs(det.ref[i].Score) {
+						t.Errorf("%v window %d (class %d): score %g, reference %g",
+							prec.p, i, cls, got[i].Score, det.ref[i].Score)
+					}
+					if prec.strict && got[i].Anomalous != det.ref[i].Anomalous {
+						t.Errorf("%v window %d (class %d): crossing %v, reference %v (score %g vs %g, threshold %g)",
+							prec.p, i, cls, got[i].Anomalous, det.ref[i].Anomalous,
+							got[i].Score, det.ref[i].Score, got[i].Threshold)
+					}
+				}
+				// The mixed dataset must actually exercise benign windows
+				// and all five seeded attack classes.
+				for cls := -1; cls < 5; cls++ {
+					if classes[cls] == 0 {
+						t.Errorf("no windows of class %d in the mixed trace", cls)
+					}
+				}
+				for cls, d := range worst {
+					t.Logf("%s %v class %d: %d windows, max |Δscore| %.3g",
+						det.name, prec.p, cls, classes[cls], d)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedInt8CrossingAgreement holds int8 to the detection outcome
+// that matters operationally: on the seed dataset every threshold
+// crossing must agree with the float64 reference (no windows sit close
+// enough to the 99th-percentile thresholds for quantization noise to
+// flip them).
+func TestBatchedInt8CrossingAgreement(t *testing.T) {
+	_, mixed, models := fixtures(t)
+	refAE := models.ScoreTraceAE(mixed.Trace)
+	refLSTM := models.ScoreTraceLSTM(mixed.Trace)
+	i8AE := models.ScoreTraceAEBatched(mixed.Trace, nn.Int8)
+	i8LSTM := models.ScoreTraceLSTMBatched(mixed.Trace, nn.Int8)
+	for i := range refAE {
+		if i8AE[i].Anomalous != refAE[i].Anomalous {
+			t.Errorf("AE window %d: i8 crossing %v, f64 %v (score %g vs %g, threshold %g)",
+				i, i8AE[i].Anomalous, refAE[i].Anomalous, i8AE[i].Score, refAE[i].Score, refAE[i].Threshold)
+		}
+	}
+	for i := range refLSTM {
+		if i8LSTM[i].Anomalous != refLSTM[i].Anomalous {
+			t.Errorf("LSTM window %d: i8 crossing %v, f64 %v (score %g vs %g, threshold %g)",
+				i, i8LSTM[i].Anomalous, refLSTM[i].Anomalous, i8LSTM[i].Score, refLSTM[i].Score, refLSTM[i].Threshold)
+		}
+	}
+}
+
+// TestBatchedFloat64FallsBackToReference pins the precision escape
+// hatch: requesting f64 from the batched entry points returns the
+// scalar reference path bit for bit.
+func TestBatchedFloat64FallsBackToReference(t *testing.T) {
+	_, mixed, models := fixtures(t)
+	ae := models.ScoreTraceAEBatched(mixed.Trace, nn.Float64)
+	ref := models.ScoreTraceAE(mixed.Trace)
+	for i := range ref {
+		if ae[i] != ref[i] {
+			t.Fatalf("AE window %d: f64 batched %+v != reference %+v", i, ae[i], ref[i])
+		}
+	}
+	lstm := models.ScoreTraceLSTMBatched(mixed.Trace, nn.Float64)
+	refL := models.ScoreTraceLSTM(mixed.Trace)
+	for i := range refL {
+		if lstm[i] != refL[i] {
+			t.Fatalf("LSTM window %d: f64 batched %+v != reference %+v", i, lstm[i], refL[i])
+		}
+	}
+}
+
+// TestRunRejectsUnknownInference pins flag validation at xApp start.
+func TestRunRejectsUnknownInference(t *testing.T) {
+	_, _, models := fixtures(t)
+	if _, err := Run(nil, models, RunOptions{NodeID: "gnb-x", Inference: "bf16"}); err == nil {
+		t.Fatal("Run accepted unknown inference precision")
+	}
+}
+
+// TestEnginesCached proves engine construction is shared: repeated
+// Engines calls at one precision return the same instance, and distinct
+// precisions are distinct engines.
+func TestEnginesCached(t *testing.T) {
+	_, _, models := fixtures(t)
+	f32 := models.Engines(nn.Float32)
+	if models.Engines(nn.Float32) != f32 {
+		t.Error("Engines(f32) not cached")
+	}
+	i8 := models.Engines(nn.Int8)
+	if i8 == f32 {
+		t.Error("distinct precisions share an engine")
+	}
+	if f32.Prec != nn.Float32 || i8.Prec != nn.Int8 {
+		t.Errorf("engine precisions %v/%v", f32.Prec, i8.Prec)
+	}
+	if f32.AE.InputDim() != models.RecordDim()*models.Window {
+		t.Errorf("AE engine input dim %d, want %d", f32.AE.InputDim(), models.RecordDim()*models.Window)
+	}
+}

@@ -78,6 +78,18 @@ type Models struct {
 	// deployed model at a different percentile without retraining.
 	AEQuantiles   []float64
 	LSTMQuantiles []float64
+
+	// engines caches the lazily built reduced-precision inference
+	// engines shared by every scoring worker (see Engines). It lives
+	// behind a pointer — set at construction — so a Models value can be
+	// shallow-copied (the tests do, to vary thresholds).
+	engines *engineCache
+}
+
+// engineCache holds built inference engines, keyed by precision.
+type engineCache struct {
+	mu    sync.Mutex
+	byPre map[nn.Precision]*FastEngines
 }
 
 // calibrate fits a percentile threshold and the 0..100 quantile table
@@ -146,10 +158,11 @@ func Train(benign mobiflow.Trace, opts TrainOptions) (*Models, error) {
 	}
 
 	m := &Models{
-		Vocab:  vocab,
-		Window: opts.Window,
-		AE:     ae,
-		LSTM:   lstm,
+		Vocab:   vocab,
+		Window:  opts.Window,
+		AE:      ae,
+		LSTM:    lstm,
+		engines: &engineCache{},
 	}
 	m.CalibrateThresholds(winAE, winL, nexts, opts.Percentile)
 	return m, nil
@@ -234,6 +247,7 @@ func Load(data []byte) (*Models, error) {
 		LSTMThreshold: b.LSTMThreshold,
 		AEQuantiles:   b.AEQuantiles,
 		LSTMQuantiles: b.LSTMQuantiles,
+		engines:       &engineCache{},
 	}, nil
 }
 
@@ -335,7 +349,10 @@ func (m *Models) forEachWindow(n, workers int, fn func(s *ScoreScratch, i int)) 
 	if workers > (n+scoreChunk-1)/scoreChunk {
 		workers = (n + scoreChunk - 1) / scoreChunk
 	}
-	if workers <= 1 || n < seqScoreCutoff {
+	// On a single schedulable CPU the pool cannot overlap any work; its
+	// goroutine startup and atomic traffic are pure overhead, so score
+	// inline regardless of the requested fan-out.
+	if workers <= 1 || n < seqScoreCutoff || runtime.GOMAXPROCS(0) == 1 {
 		s := m.NewScoreScratch()
 		for i := 0; i < n; i++ {
 			fn(s, i)

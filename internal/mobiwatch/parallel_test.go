@@ -1,6 +1,8 @@
 package mobiwatch
 
 import (
+	"bytes"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -85,6 +87,58 @@ func TestScoreWindowZeroAllocs(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(100, func() { models.LSTM.ScoreWith(s.LSTM, winsL[0], nexts[0]) }); n != 0 {
 		t.Errorf("LSTM.ScoreWith allocates %v/op, want 0", n)
+	}
+}
+
+// goroutineID returns the "goroutine N" prefix of the caller's stack —
+// enough to tell whether two calls ran on the same goroutine.
+func goroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	if i := bytes.IndexByte(buf, '['); i > 0 {
+		buf = buf[:i]
+	}
+	return string(bytes.TrimSpace(buf))
+}
+
+// TestForEachWindowInlineOnSingleCPU pins the BENCH_nn anomaly fix:
+// with one schedulable CPU the scoring pool cannot overlap any work, so
+// forEachWindow must run every window inline on the calling goroutine
+// even when a multi-worker fan-out is requested.
+func TestForEachWindowInlineOnSingleCPU(t *testing.T) {
+	_, _, models := fixtures(t)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	caller := goroutineID()
+	n := 2 * seqScoreCutoff // large enough that the pool path would engage
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	hits := 0
+	models.forEachWindow(n, 8, func(s *ScoreScratch, i int) {
+		mu.Lock()
+		seen[goroutineID()] = true
+		hits++
+		mu.Unlock()
+	})
+	if hits != n {
+		t.Fatalf("forEachWindow visited %d windows, want %d", hits, n)
+	}
+	if len(seen) != 1 || !seen[caller] {
+		t.Errorf("with GOMAXPROCS=1 scoring ran on goroutines %v, want only caller %s", seen, caller)
+	}
+
+	// With more schedulable CPUs the requested fan-out must still engage
+	// the pool: work moves off the calling goroutine.
+	runtime.GOMAXPROCS(4)
+	seen = map[string]bool{}
+	models.forEachWindow(n, 8, func(s *ScoreScratch, i int) {
+		mu.Lock()
+		seen[goroutineID()] = true
+		mu.Unlock()
+	})
+	if seen[caller] {
+		t.Errorf("with GOMAXPROCS=4 and 8 workers, scoring still ran on the calling goroutine")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/e2sm"
 	"github.com/6g-xsec/xsec/internal/feature"
 	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/nn"
 	"github.com/6g-xsec/xsec/internal/obs"
 	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/ric"
@@ -92,6 +93,17 @@ type RunOptions struct {
 	Shards int
 	// ShardBuffer bounds each shard's dispatch queue (default 256).
 	ShardBuffer int
+	// Inference selects the scoring engine: "f32" (default) and "i8"
+	// run the batched reduced-precision fast path, "f64" the scalar
+	// float64 reference path.
+	Inference string
+	// BatchWindows is the fast path's batch size: pending windows are
+	// scored together once this many accumulate (default 16).
+	BatchWindows int
+	// BatchAge bounds how long a pending window may wait before being
+	// scored when traffic is slow (default 2 ms — negligible against the
+	// 50 ms E2 report period).
+	BatchAge time.Duration
 	// Clock is used for alert timestamps (default time.Now).
 	Clock func() time.Time
 }
@@ -114,6 +126,12 @@ func (o *RunOptions) defaults() {
 	}
 	if o.ShardBuffer <= 0 {
 		o.ShardBuffer = 256
+	}
+	if o.BatchWindows <= 0 {
+		o.BatchWindows = 16
+	}
+	if o.BatchAge <= 0 {
+		o.BatchAge = 2 * time.Millisecond
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
@@ -154,9 +172,10 @@ type worker struct {
 	rt      *Runtime
 	encoder *feature.Encoder
 	recent  mobiflow.Trace // trailing records for window + context
-	vecs    [][]float64    // encoded counterparts of recent
-	scratch *ScoreScratch  // inference workspace
-	flat    []float64      // reusable window-flattening buffer
+	vecs    [][]float64    // encoded counterparts of recent (scalar path)
+	scratch *ScoreScratch  // inference workspace (scalar path)
+	flat    []float64      // reusable window-flattening buffer (scalar path)
+	fast    *fastState     // batched reduced-precision path (nil = scalar)
 	keyBuf  []byte         // reusable SDL key-rendering buffer
 	batchAt time.Time      // RIC arrival time of the batch being ingested
 	batchSN uint64         // its E2 indication sequence number
@@ -170,6 +189,10 @@ func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
 	opts.defaults()
 	if opts.NodeID == "" {
 		return nil, fmt.Errorf("mobiwatch: RunOptions.NodeID is required")
+	}
+	prec, err := nn.ParsePrecision(opts.Inference)
+	if err != nil {
+		return nil, fmt.Errorf("mobiwatch: %w", err)
 	}
 	trigger := asn1lite.Marshal(&e2sm.EventTrigger{Period: opts.ReportPeriod})
 	action := asn1lite.Marshal(&e2sm.ActionDefinition{AllUEs: true})
@@ -197,7 +220,11 @@ func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
 		w := &worker{
 			rt:      rt,
 			encoder: feature.NewEncoder(models.Vocab),
-			scratch: models.NewScoreScratch(),
+		}
+		if prec == nn.Float64 {
+			w.scratch = models.NewScoreScratch()
+		} else {
+			w.fast = newFastState(models, prec)
 		}
 		wg.Add(1)
 		go func(shard int) {
@@ -244,24 +271,55 @@ func (rt *Runtime) Thresholds() (ae, lstm float64) {
 
 func (w *worker) loop(c <-chan ric.Indication) {
 	rt := w.rt
-	for ind := range c {
-		span := obs.StartSpan(obs.IndicationKey(ind.NodeID, ind.SN), "mobiwatch.score")
-		msg, err := e2sm.DecodeIndicationMessage(ind.Message)
-		if err != nil {
-			obsBadBatches.Inc()
-			obs.L().Warn("mobiwatch: undecodable indication payload",
-				"node", ind.NodeID, "sn", ind.SN, "err", err)
+	// The fast path accumulates windows into a batch tensor; an age
+	// ticker bounds how long a pending window can wait for company when
+	// traffic is slow.
+	var tick <-chan time.Time
+	if w.fast != nil {
+		ticker := time.NewTicker(rt.opts.BatchAge)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case ind, ok := <-c:
+			if !ok {
+				if w.fast != nil && w.fast.pending() > 0 {
+					rt.thMu.RLock()
+					w.flushLocked(rt.opts.NodeID)
+					rt.thMu.RUnlock()
+					rt.queueDepth.Set(float64(len(rt.alerts)))
+				}
+				return
+			}
+			span := obs.StartSpan(obs.IndicationKey(ind.NodeID, ind.SN), "mobiwatch.score")
+			msg, err := e2sm.DecodeIndicationMessage(ind.Message)
+			if err != nil {
+				obsBadBatches.Inc()
+				obs.L().Warn("mobiwatch: undecodable indication payload",
+					"node", ind.NodeID, "sn", ind.SN, "err", err)
+				span.End()
+				continue
+			}
+			rt.stats.BatchesHandled.Add(1)
+			start := time.Now()
+			rt.thMu.RLock()
+			w.ingest(ind, msg.Records)
+			rt.thMu.RUnlock()
+			obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
 			span.End()
-			continue
+			rt.queueDepth.Set(float64(len(rt.alerts)))
+		case <-tick:
+			if w.fast.pending() == 0 {
+				continue
+			}
+			start := time.Now()
+			rt.thMu.RLock()
+			w.flushLocked(rt.opts.NodeID)
+			rt.thMu.RUnlock()
+			obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
+			rt.queueDepth.Set(float64(len(rt.alerts)))
 		}
-		rt.stats.BatchesHandled.Add(1)
-		start := time.Now()
-		rt.thMu.RLock()
-		w.ingest(ind, msg.Records)
-		rt.thMu.RUnlock()
-		obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
-		span.End()
-		rt.queueDepth.Set(float64(len(rt.alerts)))
 	}
 }
 
@@ -296,19 +354,50 @@ func (w *worker) ingest(ind ric.Indication, batch mobiflow.Trace) {
 		store.SetOwned("mobiflow", string(w.keyBuf), mobiflow.Encode(&rec))
 
 		w.recent = append(w.recent, rec)
-		w.vecs = append(w.vecs, w.encoder.Encode(rec))
-
-		if len(w.vecs) >= N {
-			w.scoreLatest(nodeID)
+		if w.fast != nil {
+			// Fast path: encode straight into the row buffer and enqueue
+			// the completed window(s) into the batch tensor; scoring
+			// happens when the batch fills (below) or ages out (loop).
+			w.fast.rows.Push(w.encoder, rec)
+			if w.fast.rows.Len() >= N {
+				w.enqueueLatest()
+			}
+			if w.fast.pending() >= rt.opts.BatchWindows {
+				w.flushLocked(nodeID)
+			}
+		} else {
+			w.vecs = append(w.vecs, w.encoder.Encode(rec))
+			if len(w.vecs) >= N {
+				w.scoreLatest(nodeID)
+			}
 		}
-		// Trim history to what context windows need.
-		max := rt.opts.ContextRecords + N + 1
-		if len(w.recent) > max {
-			drop := len(w.recent) - max
-			w.recent = w.recent[drop:]
-			w.vecs = w.vecs[drop:]
-		}
+		w.trimHistory()
 	}
+}
+
+// trimHistory drops records no longer needed for context windows. On the
+// fast path, records referenced by still-pending windows (and their
+// context) are kept until the batch flushes.
+func (w *worker) trimHistory() {
+	rt := w.rt
+	max := rt.opts.ContextRecords + rt.models.Window + 1
+	drop := len(w.recent) - max
+	if drop <= 0 {
+		return
+	}
+	if w.fast != nil {
+		if lim := w.fast.minPendingStart(len(w.recent)) - rt.opts.ContextRecords; drop > lim {
+			drop = lim
+		}
+		if drop <= 0 {
+			return
+		}
+		w.recent = w.recent[drop:]
+		w.fast.shift(drop)
+		return
+	}
+	w.recent = w.recent[drop:]
+	w.vecs = w.vecs[drop:]
 }
 
 // scoreLatest evaluates the newest AE window and, when possible, the
@@ -346,7 +435,7 @@ func (w *worker) scoreLatest(nodeID string) {
 	})
 	if s > rt.models.AEThreshold {
 		obsAnomalyAE.Inc()
-		w.raise(nodeID, w.recent[len(w.recent)-N:], s, rt.models.AEThreshold, ModelAE)
+		w.raise(nodeID, len(w.recent)-N, N, s, rt.models.AEThreshold, ModelAE, w.batchAt, w.batchSN)
 	}
 
 	// LSTM: previous N vectors predict the newest one.
@@ -370,38 +459,43 @@ func (w *worker) scoreLatest(nodeID string) {
 		})
 		if s > rt.models.LSTMThreshold {
 			obsAnomalyLSTM.Inc()
-			w.raise(nodeID, w.recent[len(w.recent)-N-1:], s, rt.models.LSTMThreshold, ModelLSTM)
+			w.raise(nodeID, len(w.recent)-N-1, N+1, s, rt.models.LSTMThreshold, ModelLSTM, w.batchAt, w.batchSN)
 		}
 	}
 }
 
-func (w *worker) raise(nodeID string, window mobiflow.Trace, score, threshold float64, model ModelName) {
+// raise flags the window at w.recent[winStart : winStart+winLen]. at and
+// sn identify the E2 indication that completed the window (the batched
+// path raises windows that are no longer at the end of the history, so
+// they travel with the window rather than with the worker).
+func (w *worker) raise(nodeID string, winStart, winLen int, score, threshold float64, model ModelName, at time.Time, sn uint64) {
 	rt := w.rt
+	window := w.recent[winStart : winStart+winLen]
 	ctxLen := rt.opts.ContextRecords
-	start := len(w.recent) - len(window) - ctxLen
+	start := winStart - ctxLen
 	if start < 0 {
 		start = 0
 	}
 	// Temporal bound: drop context records older than ContextSpan
 	// before the window starts.
 	windowStart := window[0].Timestamp
-	for start < len(w.recent)-len(window) &&
+	for start < winStart &&
 		windowStart.Sub(w.recent[start].Timestamp) > rt.opts.ContextSpan {
 		start++
 	}
 	alert := Alert{
 		NodeID:       nodeID,
 		Window:       append(mobiflow.Trace(nil), window...),
-		Context:      append(mobiflow.Trace(nil), w.recent[start:]...),
+		Context:      append(mobiflow.Trace(nil), w.recent[start:winStart+winLen]...),
 		Score:        score,
 		Threshold:    threshold,
 		Model:        model,
 		At:           rt.opts.Clock(),
-		ReceivedAt:   w.batchAt,
-		IndicationSN: w.batchSN,
+		ReceivedAt:   at,
+		IndicationSN: sn,
 	}
-	if !w.batchAt.IsZero() {
-		obsFlagSeconds.ObserveSeconds(time.Since(w.batchAt).Nanoseconds())
+	if !at.IsZero() {
+		obsFlagSeconds.ObserveSeconds(time.Since(at).Nanoseconds())
 	}
 	disposition := "raised"
 	select {
@@ -416,7 +510,7 @@ func (w *worker) raise(nodeID string, window mobiflow.Trace, score, threshold fl
 			"node", nodeID, "model", string(model))
 	}
 	prov.Record(prov.Event{
-		Chain:     prov.ChainID{Node: nodeID, SN: w.batchSN},
+		Chain:     prov.ChainID{Node: nodeID, SN: sn},
 		Kind:      prov.KindAlert,
 		At:        alert.At,
 		SeqFirst:  window[0].Seq,

@@ -1,0 +1,193 @@
+package nn
+
+// This file is the batched-GEMM core of the fast inference path. Weights
+// are stored transposed (in × outPad, outPad a multiple of laneCols) so
+// the inner kernel broadcasts one input scalar against contiguous output
+// columns — no horizontal reductions — and a batch of W windows becomes
+// one matrix-matrix product per layer instead of W GEMVs.
+//
+// Two kernel families exist per block of laneCols output columns:
+//
+//	kernelF32: Y[m][0:32] += Σ_k X[m][k] · Wt[k][0:32]
+//	kernelI8:  Y[m][0:32] += scale[0:32] · Σ_k X[m][k] · float32(W8[k][0:32])
+//
+// On amd64 with AVX2+FMA (detected at runtime, so the build stays
+// GOAMD64=v1) the kernels are assembly (gemm_amd64.s); everywhere else
+// the portable Go versions below run. Both share exact semantics, so the
+// selection is invisible above this file.
+
+// laneCols is the kernel's output-column block width. Weight planes pad
+// their output dimension up to a multiple of it.
+const laneCols = 32
+
+// kernelF32 and kernelI8 are the selected block kernels. They are
+// package variables so tests can force the portable versions; init in
+// gemm_amd64.go upgrades them when the CPU allows.
+var (
+	kernelF32 = gemmBlockGo
+	kernelI8  = gemmBlockI8Go
+)
+
+// simdKernel names the active kernel implementation ("avx2" or
+// "generic") for benchmark metadata.
+var simdKernel = "generic"
+
+// SIMD reports which GEMM kernel implementation is active.
+func SIMD() string { return simdKernel }
+
+// gemmBlockGo is the portable float32 block kernel:
+// y[m*yStride+o] += Σ_k x[m*xStride+k] · wt[k*wtStride+o] for o in
+// [0, laneCols), m in [0, n). The zero-input skip is exact for finite
+// weights and pays off on sparse one-hot feature rows.
+func gemmBlockGo(y []float32, yStride int, x []float32, xStride int, wt []float32, wtStride int, n, k int) {
+	for m := 0; m < n; m++ {
+		yrow := y[m*yStride : m*yStride+laneCols : m*yStride+laneCols]
+		xrow := x[m*xStride:]
+		for kk := 0; kk < k; kk++ {
+			xv := xrow[kk]
+			if xv == 0 {
+				continue
+			}
+			wrow := wt[kk*wtStride : kk*wtStride+laneCols : kk*wtStride+laneCols]
+			for o := 0; o < laneCols; o++ {
+				yrow[o] += xv * wrow[o]
+			}
+		}
+	}
+}
+
+// gemmBlockI8Go is the portable int8 block kernel: integer weights
+// accumulate in float32 and the per-output-column scale is applied once
+// at the end, so y[m][o] += scale[o] · Σ_k x[m][k] · w8[k][o].
+func gemmBlockI8Go(y []float32, yStride int, x []float32, xStride int, w8 []int8, wtStride int, scale []float32, n, k int) {
+	var acc [laneCols]float32
+	for m := 0; m < n; m++ {
+		for o := range acc {
+			acc[o] = 0
+		}
+		xrow := x[m*xStride:]
+		for kk := 0; kk < k; kk++ {
+			xv := xrow[kk]
+			if xv == 0 {
+				continue
+			}
+			wrow := w8[kk*wtStride : kk*wtStride+laneCols : kk*wtStride+laneCols]
+			for o := 0; o < laneCols; o++ {
+				acc[o] += xv * float32(wrow[o])
+			}
+		}
+		yrow := y[m*yStride : m*yStride+laneCols : m*yStride+laneCols]
+		for o := 0; o < laneCols; o++ {
+			yrow[o] += acc[o] * scale[o]
+		}
+	}
+}
+
+// padCols rounds an output dimension up to the kernel block width.
+func padCols(out int) int {
+	return (out + laneCols - 1) / laneCols * laneCols
+}
+
+// plane is one quantized dense layer: transposed weights padded to a
+// multiple of laneCols output columns, bias, and activation. Exactly one
+// of w32 / w8 is set.
+type plane struct {
+	in, out, outPad int
+	act             Activation
+
+	w32   []float32 // in×outPad, transposed: w32[k*outPad+o]
+	w8    []int8    // in×outPad, transposed
+	scale []float32 // per-output-column dequantization scale (int8 only)
+	bias  []float32 // outPad, padding zero
+}
+
+// newPlane converts one float64 layer (row-major w[o*in+k], bias b) into
+// a transposed padded plane at the requested precision.
+func newPlane(w, b []float64, in, out int, act Activation, prec Precision) plane {
+	p := plane{in: in, out: out, outPad: padCols(out), act: act}
+	p.bias = make([]float32, p.outPad)
+	for o := 0; o < out; o++ {
+		p.bias[o] = float32(b[o])
+	}
+	if prec == Int8 {
+		p.w8 = make([]int8, in*p.outPad)
+		p.scale = make([]float32, p.outPad)
+		for o := 0; o < out; o++ {
+			var mx float64
+			for k := 0; k < in; k++ {
+				if a := w[o*in+k]; a > mx {
+					mx = a
+				} else if -a > mx {
+					mx = -a
+				}
+			}
+			if mx == 0 {
+				continue // zero row quantizes to zeros with scale 0
+			}
+			s := mx / 127
+			p.scale[o] = float32(s)
+			for k := 0; k < in; k++ {
+				q := int(w[o*in+k]/s + 0.5)
+				if w[o*in+k] < 0 {
+					q = int(w[o*in+k]/s - 0.5)
+				}
+				p.w8[k*p.outPad+o] = int8(q)
+			}
+		}
+		return p
+	}
+	p.w32 = make([]float32, in*p.outPad)
+	for o := 0; o < out; o++ {
+		for k := 0; k < in; k++ {
+			p.w32[k*p.outPad+o] = float32(w[o*in+k])
+		}
+	}
+	return p
+}
+
+// fillBias broadcasts the bias row into the first n rows of y
+// (row stride outPad).
+func (p *plane) fillBias(y []float32, n int) {
+	for m := 0; m < n; m++ {
+		copy(y[m*p.outPad:(m+1)*p.outPad], p.bias)
+	}
+}
+
+// gemm accumulates X·Wt into y: n rows of x (logical width p.in, row
+// stride xStride) against the plane's weights, into n rows of y (row
+// stride yStride ≥ p.outPad). Callers pre-fill y — with fillBias for a
+// fresh layer, or with a previous gemm's output to chain accumulations.
+func (p *plane) gemm(y []float32, yStride int, x []float32, xStride, n int) {
+	if n == 0 || p.in == 0 {
+		return
+	}
+	if p.w8 != nil {
+		for ob := 0; ob < p.outPad; ob += laneCols {
+			kernelI8(y[ob:], yStride, x, xStride, p.w8[ob:], p.outPad, p.scale[ob:], n, p.in)
+		}
+		return
+	}
+	for ob := 0; ob < p.outPad; ob += laneCols {
+		kernelF32(y[ob:], yStride, x, xStride, p.w32[ob:], p.outPad, n, p.in)
+	}
+}
+
+// activate applies the plane's nonlinearity in place over n rows of y.
+// Padding columns are written too (cheaper than masking); they are never
+// read by later stages, whose k loops stop at the logical width.
+func (p *plane) activate(y []float32, n int) {
+	total := n * p.outPad
+	switch p.act {
+	case ActIdentity:
+	case ActReLU:
+		for i := 0; i < total; i++ {
+			if y[i] < 0 {
+				y[i] = 0
+			}
+		}
+	case ActSigmoid:
+		vsigmoidF32(y[:total])
+	case ActTanh:
+		vtanhF32(y[:total])
+	}
+}

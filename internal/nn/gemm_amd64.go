@@ -1,0 +1,88 @@
+//go:build amd64
+
+package nn
+
+// Runtime CPU-feature detection for the AVX2+FMA GEMM kernels. The
+// binary builds for baseline amd64 (GOAMD64=v1); the SIMD path is only
+// entered when CPUID and XGETBV prove the instructions and OS state
+// support are present, so the portable kernels remain the fallback.
+
+// Implemented in gemm_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+func gemmBlockAVX2(y *float32, yStride int, x *float32, xStride int, wt *float32, wtStride int, n, k int)
+func gemmBlockI8AVX2(y *float32, yStride int, x *float32, xStride int, w8 *int8, wtStride int, scale *float32, n, k int)
+
+//go:noescape
+func vsigmoidAVX2(v *float32, n int)
+
+//go:noescape
+func vtanhAVX2(v *float32, n int)
+
+// hasAVX2FMA reports whether the CPU and OS support the assembly kernels:
+// AVX, FMA, and OSXSAVE in CPUID.1:ECX, XMM+YMM state enabled in XCR0,
+// and AVX2 in CPUID.7:EBX.
+func hasAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if xa, _ := xgetbv(); xa&6 != 6 { // XMM and YMM state saved by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// gemmBlockAsm adapts the slice-based kernel signature to the assembly
+// entry point.
+func gemmBlockAsm(y []float32, yStride int, x []float32, xStride int, wt []float32, wtStride int, n, k int) {
+	gemmBlockAVX2(&y[0], yStride, &x[0], xStride, &wt[0], wtStride, n, k)
+}
+
+func gemmBlockI8Asm(y []float32, yStride int, x []float32, xStride int, w8 []int8, wtStride int, scale []float32, n, k int) {
+	gemmBlockI8AVX2(&y[0], yStride, &x[0], xStride, &w8[0], wtStride, &scale[0], n, k)
+}
+
+// vsigmoidAsm and vtanhAsm run the 8-lane kernels over the aligned body
+// and fall back to the scalar activations for the remainder, so results
+// depend only on each element's index, never on the vector's length.
+func vsigmoidAsm(v []float32) {
+	n := len(v) &^ 7
+	if n > 0 {
+		vsigmoidAVX2(&v[0], n)
+	}
+	for i := n; i < len(v); i++ {
+		v[i] = sigmoidF32(v[i])
+	}
+}
+
+func vtanhAsm(v []float32) {
+	n := len(v) &^ 7
+	if n > 0 {
+		vtanhAVX2(&v[0], n)
+	}
+	for i := n; i < len(v); i++ {
+		v[i] = tanhF32(v[i])
+	}
+}
+
+func init() {
+	if hasAVX2FMA() {
+		kernelF32 = gemmBlockAsm
+		kernelI8 = gemmBlockI8Asm
+		vsigmoidF32 = vsigmoidAsm
+		vtanhF32 = vtanhAsm
+		simdKernel = "avx2"
+	}
+}

@@ -1,0 +1,111 @@
+package nn
+
+import "math"
+
+// Fast float32 transcendentals for the inference path. The float64
+// activations in nn.go cost as much as the whole batched GEMM at these
+// layer sizes; these single-precision versions (Cephes-style range
+// reduction + degree-5 polynomial) are accurate to ~1 ulp of float32,
+// so the score divergence against the float64 reference stays dominated
+// by float32 arithmetic itself, not by the approximation.
+
+const (
+	expLog2e32 = 1.4426950408889634
+	expLn2Hi32 = 6.93359375e-01
+	expLn2Lo32 = -2.12194440e-04
+	expMax32   = 88.72283   // exp overflows float32 above this
+	expMin32   = -87.336544 // exp underflows float32 below this
+	tanhClamp  = 9.01       // tanh is ±1 to float32 precision beyond this
+	sigClamp32 = 18.0       // sigmoid is 0/1 to ~1.5e-8 beyond this
+)
+
+// expF32 returns e**x with float32 range and ~1 ulp accuracy.
+func expF32(x float32) float32 {
+	if x > expMax32 {
+		return float32(math.Inf(1))
+	}
+	if x < expMin32 {
+		return 0
+	}
+	// Range reduction: x = k·ln2 + r with |r| ≤ ln2/2.
+	kf := x * expLog2e32
+	if kf >= 0 {
+		kf = float32(int32(kf + 0.5))
+	} else {
+		kf = float32(int32(kf - 0.5))
+	}
+	r := x - kf*expLn2Hi32 - kf*expLn2Lo32
+
+	// exp(r) ≈ 1 + r + r²·P(r), Cephes expf minimax coefficients.
+	p := float32(1.9875691500e-4)
+	p = p*r + 1.3981999507e-3
+	p = p*r + 8.3334519073e-3
+	p = p*r + 4.1665795894e-2
+	p = p*r + 1.6666665459e-1
+	p = p*r + 5.0000001201e-1
+	y := p*r*r + r + 1
+
+	// Scale by 2**k through the exponent bits. k is in [-126, 128] for
+	// the clamped range; the edges scale in two steps so the biased
+	// exponent of each factor stays that of a normal float.
+	k := int32(kf)
+	if k > 127 {
+		y *= math.Float32frombits((127 + 127) << 23)
+		k -= 127
+	} else if k < -126 {
+		y *= math.Float32frombits((-126 + 127) << 23)
+		k += 126
+	}
+	return y * math.Float32frombits(uint32(k+127)<<23)
+}
+
+// tanhF32 returns tanh(x) in float32 via the exp identity
+// tanh(x) = (e^{2x} − 1) / (e^{2x} + 1).
+func tanhF32(x float32) float32 {
+	if x > tanhClamp {
+		return 1
+	}
+	if x < -tanhClamp {
+		return -1
+	}
+	e := expF32(2 * x)
+	return (e - 1) / (e + 1)
+}
+
+// sigmoidF32 returns 1/(1+e^{−x}) in float32.
+func sigmoidF32(x float32) float32 {
+	if x > sigClamp32 {
+		return 1
+	}
+	if x < -sigClamp32 {
+		return 0
+	}
+	return 1 / (1 + expF32(-x))
+}
+
+// vsigmoidF32 and vtanhF32 apply the activation in place over a vector —
+// the batched engines' hot elementwise pass (an LSTM window is ~5·H·T
+// transcendentals, as expensive as all its GEMMs together). They are
+// package variables so tests can force the portable versions; init in
+// gemm_amd64.go upgrades them to 8-lane AVX2 kernels alongside the GEMM
+// block kernels. The SIMD versions round the exp range-reduction step to
+// nearest-even where the scalars round half away from zero, so results
+// may differ by ~1 ulp at half-integer multiples of log2(e)·x; callers
+// tolerate far more (the float32 engines are compared to the float64
+// reference, not to the scalar float32 path).
+var (
+	vsigmoidF32 = vsigmoidGo
+	vtanhF32    = vtanhGo
+)
+
+func vsigmoidGo(v []float32) {
+	for i := range v {
+		v[i] = sigmoidF32(v[i])
+	}
+}
+
+func vtanhGo(v []float32) {
+	for i := range v {
+		v[i] = tanhF32(v[i])
+	}
+}

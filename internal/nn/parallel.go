@@ -70,12 +70,15 @@ func (c *TrainConfig) workers() int {
 
 // runShards executes fn(shard) for every shard in [0, n) on up to
 // workers goroutines. fn must touch only shard-private state. With one
-// worker the shards run inline on the calling goroutine, in order.
+// worker — or one schedulable CPU, where extra goroutines only add
+// scheduler churn — the shards run inline on the calling goroutine, in
+// order. The two paths sum identically (see the determinism contract
+// above), so the fallback is invisible except in the profile.
 func runShards(n, workers int, fn func(shard int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers <= 1 || runtime.GOMAXPROCS(0) == 1 {
 		for s := 0; s < n; s++ {
 			fn(s)
 		}

@@ -1,7 +1,9 @@
 package nn
 
 import (
+	"bytes"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -168,6 +170,56 @@ func TestTrainWorkerCountInvariant(t *testing.T) {
 				t.Fatalf("LSTM epoch %d loss with %d workers = %g, 1 worker = %g", e, w, got[e], base[e])
 			}
 		}
+	}
+}
+
+// TestRunShardsInlineOnSingleCPU pins the single-CPU fast path: with
+// GOMAXPROCS=1 a worker pool cannot overlap anything, so runShards must
+// execute the shards inline on the calling goroutine even when many
+// workers are requested.
+func TestRunShardsInlineOnSingleCPU(t *testing.T) {
+	goid := func() string {
+		buf := make([]byte, 64)
+		buf = buf[:runtime.Stack(buf, false)]
+		if i := bytes.IndexByte(buf, '['); i > 0 {
+			buf = buf[:i]
+		}
+		return string(bytes.TrimSpace(buf))
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	caller := goid()
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	order := make([]int, 0, maxGradShards)
+	runShards(maxGradShards, 8, func(s int) {
+		mu.Lock()
+		seen[goid()] = true
+		order = append(order, s)
+		mu.Unlock()
+	})
+	if len(order) != maxGradShards {
+		t.Fatalf("runShards ran %d shards, want %d", len(order), maxGradShards)
+	}
+	for s, got := range order {
+		if got != s {
+			t.Errorf("inline shard order[%d] = %d, want %d", s, got, s)
+		}
+	}
+	if len(seen) != 1 || !seen[caller] {
+		t.Errorf("with GOMAXPROCS=1 shards ran on goroutines %v, want only caller %s", seen, caller)
+	}
+
+	runtime.GOMAXPROCS(4)
+	seen = map[string]bool{}
+	runShards(maxGradShards, 8, func(s int) {
+		mu.Lock()
+		seen[goid()] = true
+		mu.Unlock()
+	})
+	if seen[caller] {
+		t.Error("with GOMAXPROCS=4 and 8 workers, shards still ran on the calling goroutine")
 	}
 }
 

@@ -215,6 +215,18 @@ func (d Digest) Vecs(vecs [][]float64) Digest {
 	return d
 }
 
+// Floats32 mixes a float32 feature vector through the same float64 bit
+// pattern as Floats, so a window digested from the batched float32
+// scoring path matches the float64 path digest when the values are
+// exactly representable (feature vectors are: indicators and small
+// fixed-point ratios).
+func (d Digest) Floats32(vs []float32) Digest {
+	for _, v := range vs {
+		d = d.F64(float64(v))
+	}
+	return d
+}
+
 // String renders the digest as 16 hex digits.
 func (d Digest) String() string {
 	var buf [16]byte
@@ -246,6 +258,9 @@ func (d *Digest) UnmarshalJSON(data []byte) error {
 
 // DigestFloats fingerprints one flattened feature window.
 func DigestFloats(vs []float64) Digest { return NewDigest().Floats(vs) }
+
+// DigestFloats32 fingerprints one flattened float32 feature window.
+func DigestFloats32(vs []float32) Digest { return NewDigest().Floats32(vs) }
 
 // DigestText fingerprints a rendered prompt or response.
 func DigestText(s string) Digest { return NewDigest().Str(s) }
