@@ -10,9 +10,13 @@
 //	xsec-audit -mitigate dry-run        # audit the rehearsal journal instead
 //	xsec-audit -chain gnb-001/42        # restrict the audit to one chain
 //	xsec-audit -endpoint http://host:9090 -label bts-dos   # query a live deployment's /prov
+//	xsec-audit -federation 2            # audit a federated mid-attack UE migration
 //
 // In testbed mode the command exits non-zero when any issued mitigation
-// action lacks a complete evidence chain — the auditability contract.
+// action lacks a complete evidence chain — the auditability contract. In
+// federation mode it exits non-zero when any migrated UE's source and
+// destination chains are not joined, or the destination never scored the
+// joining indication.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/core"
+	"github.com/6g-xsec/xsec/internal/fed"
 	"github.com/6g-xsec/xsec/internal/mitigate"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/prov"
@@ -40,6 +45,7 @@ func main() {
 		since    = flag.String("since", "", "endpoint mode: RFC 3339 lower time bound")
 		until    = flag.String("until", "", "endpoint mode: RFC 3339 upper time bound")
 
+		federation  = flag.Int("federation", 0, "audit a federated migration: run N instances, hand the attack over mid-flood, verify joined chains")
 		attack      = flag.String("attack", "bts-dos", "testbed mode: attack to launch and audit")
 		mitigateMod = flag.String("mitigate", "enforce", "testbed mode: mitigation engine mode (off | dry-run | enforce)")
 		sessions    = flag.Int("sessions", 60, "testbed mode: benign training sessions")
@@ -49,9 +55,12 @@ func main() {
 	flag.Parse()
 
 	var err error
-	if *endpoint != "" {
+	switch {
+	case *endpoint != "":
 		err = auditEndpoint(*endpoint, *chainID, *ueFilter, *label, *since, *until)
-	} else {
+	case *federation > 0:
+		err = auditFederation(*federation, *seed)
+	default:
 		err = auditRun(*attack, *mitigateMod, *sessions, *epochs, *seed, *chainID)
 	}
 	if err != nil {
@@ -97,6 +106,56 @@ func auditEndpoint(endpoint, chainID, ueFilter, label, since, until string) erro
 		fmt.Println()
 	}
 	fmt.Printf("%d chain(s)\n", len(chains))
+	return nil
+}
+
+// auditFederation runs the federated migration scenario and audits the
+// ledger it leaves behind: every migrated UE's destination chain must
+// join to its source chain, and the joining indication must have been
+// scored. The joined chains are rendered so the hand-off is readable
+// end to end.
+func auditFederation(instances int, seed int64) error {
+	fmt.Printf("=== xsec-audit: federated UE-state migration (%d instances) ===\n", instances)
+	fmt.Println("training models, generating the attack, migrating mid-flood...")
+	res, err := fed.RunMigrationScenario(fed.ScenarioOptions{Instances: instances, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d UE contexts handed over %s -> %s at record %d/%d; %d attack alerts on %s\n\n",
+		len(res.AttackUEs), res.Source, res.Dest, res.PreRecords,
+		res.PreRecords+res.PostRecords, res.AlertsOnDest, res.Dest)
+
+	failed := 0
+	for _, a := range res.Audits {
+		status := "OK"
+		if !a.OK() {
+			status = "FAILED: " + a.Err
+			failed++
+		}
+		fmt.Printf("--- UE %d: %s -> %s (%s", a.UEID, a.From, a.To, status)
+		if a.Reachback {
+			fmt.Printf(", window reaches restored history")
+		}
+		fmt.Println(") ---")
+		for _, id := range []prov.ChainID{a.From, a.To} {
+			rec, err := prov.ReadChain(res.Store, id)
+			if err != nil {
+				fmt.Printf("chain %s: NOT PERSISTED (%v)\n", id, err)
+				continue
+			}
+			prov.WriteChain(os.Stdout, rec)
+		}
+		fmt.Println()
+	}
+
+	if failed > 0 {
+		return fmt.Errorf("%d of %d migrated UE(s) lack a joined, gap-free evidence chain", failed, len(res.Audits))
+	}
+	if res.AlertsOnDest == 0 {
+		return fmt.Errorf("the destination instance never flagged the migrated attack")
+	}
+	fmt.Printf("audit OK: all %d migrated UE(s) have joined chains with scoring resumed at the join (%d with direct seq reachback)\n",
+		len(res.Audits), res.Reachbacks)
 	return nil
 }
 

@@ -15,6 +15,8 @@
 //	xsec-bench -prov                # provenance ledger baseline → BENCH_prov.json
 //	xsec-bench -ingest              # telemetry ingest baseline → BENCH_ingest.json
 //	xsec-bench -ingest -smoke       # reduced ingest workload (CI path check)
+//	xsec-bench -fed                 # federated throughput baseline → BENCH_fed.json
+//	xsec-bench -fed -smoke          # reduced federation workload (CI path check)
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		mitBench    = flag.Bool("mitigate", false, "measure the closed mitigation loop under the DoS attacks")
 		provBench   = flag.Bool("prov", false, "measure provenance ledger overhead and chain reconstruction")
 		ingestBench = flag.Bool("ingest", false, "measure the telemetry ingest path, scaled vs unsharded baseline")
+		fedBench    = flag.Bool("fed", false, "measure federated multi-RIC throughput vs a single instance")
 		smoke       = flag.Bool("smoke", false, "shrink the -ingest/-nn workload so CI exercises the path quickly")
 		outPath     = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
 	)
@@ -118,6 +121,20 @@ func main() {
 		out := *outPath
 		if out == "" {
 			out = "BENCH_ingest.json"
+		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
+		return
+	}
+	if *fedBench {
+		res, err := bench.RunFedBench(bench.FedOptions{Seed: *seed, Smoke: *smoke})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		out := *outPath
+		if out == "" {
+			out = "BENCH_fed.json"
 		}
 		data, err := res.JSON()
 		writeBaseline(res.Format(), data, err, out)

@@ -11,6 +11,7 @@
 //	xsec-testbed -mitigate enforce    # governed mitigation engine (off | dry-run | enforce)
 //	xsec-testbed -model llama3        # pick the analyst personality
 //	xsec-testbed -inference i8        # MobiWatch scoring precision (f32 | i8 | f64)
+//	xsec-testbed -federation 2        # federated mode: N RIC instances, mid-attack UE migration
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/core"
+	"github.com/6g-xsec/xsec/internal/fed"
 	"github.com/6g-xsec/xsec/internal/mitigate"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/obs"
@@ -39,6 +41,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (e.g. :9090)")
 		logLevel    = flag.String("log-level", "", "emit structured pipeline logs to stderr at this level: debug | info | warn | error")
 		inference   = flag.String("inference", "", "MobiWatch scoring precision: f32 (default), i8, or f64")
+		federation  = flag.Int("federation", 0, "run N federated RIC instances and migrate the attack UEs mid-flood")
 	)
 	flag.Parse()
 	if *logLevel != "" {
@@ -50,10 +53,45 @@ func main() {
 		obs.SetLogOutput(os.Stderr)
 		obs.SetLogLevel(lv)
 	}
-	if err := run(*attack, *auto, *mitigateMod, *model, *sessions, *epochs, *seed, *metricsAddr, *inference); err != nil {
+	var err error
+	if *federation > 0 {
+		err = runFederation(*federation, *seed)
+	} else {
+		err = run(*attack, *auto, *mitigateMod, *model, *sessions, *epochs, *seed, *metricsAddr, *inference)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xsec-testbed:", err)
 		os.Exit(1)
 	}
+}
+
+// runFederation drives the multi-RIC scenario: a BTS-DoS flood is
+// handed over between two federated instances mid-attack, and the
+// destination must keep detecting it using the migrated window state.
+func runFederation(instances int, seed int64) error {
+	fmt.Printf("=== 6G-XSec federated testbed (%d RIC instances) ===\n", instances)
+	fmt.Println("training models and generating the attack dataset...")
+	res, err := fed.RunMigrationScenario(fed.ScenarioOptions{Instances: instances, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flood: %d UE contexts, %d records before the handover (%s), %d after (%s)\n",
+		len(res.AttackUEs), res.PreRecords, res.Source, res.PostRecords, res.Dest)
+	fmt.Printf("mid-attack migration: %d UE states checkpointed on %s, shipped over the bus, restored on %s\n",
+		len(res.AttackUEs), res.Source, res.Dest)
+	fmt.Printf("\n=== summary ===\n")
+	fmt.Printf("records scored (zero loss): %d/%d\n", res.TotalRecords, res.PreRecords+res.PostRecords)
+	fmt.Printf("attack alerts on %s:     %d (window spans the migration boundary: %v)\n",
+		res.Dest, res.AlertsOnDest, res.AlertSpansBoundary)
+	fmt.Printf("migration audits:           %d joined chains, all OK: %v (%d with direct seq reachback)\n",
+		len(res.Audits), res.AuditsOK, res.Reachbacks)
+	if res.AlertsOnDest == 0 {
+		return fmt.Errorf("the destination instance never flagged the migrated attack")
+	}
+	if !res.AuditsOK {
+		return fmt.Errorf("migration provenance audit failed")
+	}
+	return nil
 }
 
 func run(attack string, auto bool, mitigateMode, model string, sessions, epochs int, seed int64, metricsAddr, inference string) error {

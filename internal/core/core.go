@@ -341,17 +341,25 @@ func (f *Framework) DeployXApps() error {
 			if !ok {
 				continue
 			}
-			if policy.ThresholdPercentile > 0 {
-				// Invalid percentiles are operator error; the policy
-				// simply does not take effect.
-				_ = f.watch.SetThresholdPercentile(policy.ThresholdPercentile)
-			}
-			if f.mitigator != nil {
-				f.mitigator.ApplyPolicy(policy)
-			}
+			f.ApplyPolicy(policy)
 		}
 	}()
 	return nil
+}
+
+// ApplyPolicy applies one A1 policy to the running xApps: detection
+// thresholds re-fit without redeployment and the mitigation engine
+// re-governed. The local A1 watch loop and the federation bus fan-out
+// both deliver policies through this path.
+func (f *Framework) ApplyPolicy(policy smo.Policy) {
+	if f.watch != nil && policy.ThresholdPercentile > 0 {
+		// Invalid percentiles are operator error; the policy simply
+		// does not take effect.
+		_ = f.watch.SetThresholdPercentile(policy.ThresholdPercentile)
+	}
+	if f.mitigator != nil {
+		f.mitigator.ApplyPolicy(policy)
+	}
 }
 
 // Watch exposes the MobiWatch runtime (nil before DeployXApps).

@@ -1,0 +1,279 @@
+package fed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/smo"
+	"github.com/6g-xsec/xsec/internal/wire"
+)
+
+// The trained models and attack dataset are the expensive fixtures;
+// build them once for the whole package.
+var (
+	envOnce   sync.Once
+	envModels *mobiwatch.Models
+	envMixed  *dataset.Labeled
+	envErr    error
+)
+
+func testEnv(t *testing.T) (*mobiwatch.Models, *dataset.Labeled) {
+	t.Helper()
+	envOnce.Do(func() {
+		envModels, envMixed, envErr = buildScenarioEnv(1)
+	})
+	if envErr != nil {
+		t.Fatalf("building test env: %v", envErr)
+	}
+	return envModels, envMixed
+}
+
+// TestMigrationScenarioContinuity is the federation acceptance test: a
+// BTS-DoS flood is handed over from ric-0 to ric-1 mid-attack, and the
+// destination must still detect it — with alert windows reaching back
+// into pre-migration history — while the provenance ledger shows every
+// migrated UE's chains joined with no scoring gap.
+func TestMigrationScenarioContinuity(t *testing.T) {
+	models, mixed := testEnv(t)
+	res, err := RunMigrationScenario(ScenarioOptions{
+		Instances: 2, Seed: 1, Models: models, Mixed: mixed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scenario: %d UEs, %d+%d records, %d dest alerts (spansBoundary=%v), %d audits",
+		len(res.AttackUEs), res.PreRecords, res.PostRecords,
+		res.AlertsOnDest, res.AlertSpansBoundary, len(res.Audits))
+
+	if res.AlertsOnDest == 0 {
+		t.Fatal("destination raised no alert for the migrated attack")
+	}
+	if !res.AlertSpansBoundary {
+		t.Error("no destination alert window reaches into pre-migration history")
+	}
+	if want := uint64(res.PreRecords + res.PostRecords); res.TotalRecords != want {
+		t.Errorf("records scored = %d, want %d (zero loss)", res.TotalRecords, want)
+	}
+	if len(res.Audits) == 0 {
+		t.Fatal("ledger holds no migration audits")
+	}
+	if len(res.Audits) != len(res.AttackUEs) {
+		t.Errorf("audits for %d UEs, migrated %d", len(res.Audits), len(res.AttackUEs))
+	}
+	for _, a := range res.Audits {
+		if !a.OK() {
+			t.Errorf("UE %d: migration audit failed: %s (joined=%v continuous=%v)",
+				a.UEID, a.Err, a.Joined, a.Continuous)
+		}
+	}
+	if !res.AuditsOK {
+		t.Error("scenario reports AuditsOK=false")
+	}
+}
+
+// TestClusterJoinRebalance checks ring-driven migration: when a new
+// instance joins, existing members migrate exactly the UEs the new
+// ring assigns to the joiner, with no scored records lost.
+func TestClusterJoinRebalance(t *testing.T) {
+	models, mixed := testEnv(t)
+	cl, err := StartCluster(ClusterOptions{Instances: 2, Models: models, InstallLedger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, inst := range cl.Instances() {
+		go func(inst *Instance) {
+			for range inst.Alerts() {
+			}
+		}(inst)
+	}
+
+	// Feed a handful of UEs to their ring owners.
+	byUE := map[uint64]mobiflow.Trace{}
+	for _, rec := range mixed.Trace {
+		byUE[rec.UEID] = append(byUE[rec.UEID], rec)
+	}
+	var fed uint64
+	var ues []uint64
+	for u, tr := range byUE {
+		if len(tr) < 4 || len(ues) >= 12 {
+			continue
+		}
+		ues = append(ues, u)
+		owner := cl.OwnerOf(u)
+		if owner == nil {
+			t.Fatalf("no owner for UE %d", u)
+		}
+		for _, rec := range tr[:4] {
+			if err := owner.Feeder().Emit(u, mobiflow.Trace{rec}); err != nil {
+				t.Fatal(err)
+			}
+			fed++
+		}
+	}
+	if err := cl.WaitRecords(fed, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	oldRing := cl.Coordinator.Ring()
+	joiner, err := cl.Join("ric-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRing := cl.Coordinator.Ring()
+
+	// Which of our UEs should move? Those reassigned to the joiner.
+	var moving []uint64
+	for _, u := range ues {
+		if oldRing.Owner(u) != newRing.Owner(u) {
+			if got := newRing.Owner(u); got != "ric-2" {
+				t.Fatalf("UE %d moved to %s on join of ric-2", u, got)
+			}
+			moving = append(moving, u)
+		}
+	}
+	if len(moving) == 0 {
+		t.Skip("hash placement moved none of the sampled UEs; nothing to assert")
+	}
+
+	// The joiner must end up holding exactly the reassigned UEs' state.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		held := map[uint64]bool{}
+		for _, u := range joiner.UEs() {
+			held[u] = true
+		}
+		all := true
+		for _, u := range moving {
+			if !held[u] {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner holds %v, want at least %v", joiner.UEs(), moving)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, u := range moving {
+		if src := cl.Instance(oldRing.Owner(u)); src != nil {
+			srcDeadline := time.Now().Add(10 * time.Second)
+			for {
+				stillHeld := false
+				for _, held := range src.UEs() {
+					if held == u {
+						stillHeld = true
+					}
+				}
+				if !stillHeld {
+					break
+				}
+				if time.Now().After(srcDeadline) {
+					t.Fatalf("UE %d still held by %s after rebalance", u, src.ID())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+
+	if got := cl.TotalRecords(); got != fed {
+		t.Errorf("records scored = %d, want %d (zero loss across rebalance)", got, fed)
+	}
+}
+
+// TestDegradedStandalone checks that an instance without a reachable
+// bus keeps detecting: records score, health reports the degradation,
+// and migration fails fast instead of blocking.
+func TestDegradedStandalone(t *testing.T) {
+	models, mixed := testEnv(t)
+	inst, err := StartInstance(InstanceOptions{
+		ID: "ric-dark", Models: models,
+		Dial:             func() (*wire.Conn, error) { return nil, fmt.Errorf("no route to broker") },
+		MigrationTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	go func() {
+		for range inst.Alerts() {
+		}
+	}()
+
+	var u uint64
+	var tr mobiflow.Trace
+	for cand, recs := range func() map[uint64]mobiflow.Trace {
+		m := map[uint64]mobiflow.Trace{}
+		for _, rec := range mixed.Trace {
+			m[rec.UEID] = append(m[rec.UEID], rec)
+		}
+		return m
+	}() {
+		if len(recs) >= 4 {
+			u, tr = cand, recs[:4]
+			break
+		}
+	}
+	for _, rec := range tr {
+		if err := inst.Feeder().Emit(u, mobiflow.Trace{rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for inst.Records() < uint64(len(tr)) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := inst.Records(); got < uint64(len(tr)) {
+		t.Fatalf("degraded instance scored %d/%d records", got, len(tr))
+	}
+
+	if err := inst.health(); err == nil {
+		t.Error("health check passes with unreachable bus")
+	}
+	if err := inst.MigrateUE(u, "ric-elsewhere"); err == nil {
+		t.Error("migration succeeded with unreachable bus")
+	}
+	if inst.Bus().PublishFailures() == 0 {
+		t.Error("degraded publish failures not counted")
+	}
+}
+
+// TestPolicyFanout checks coordinator→bus→instance A1 distribution:
+// one PushPolicy retunes the detection threshold on every instance.
+func TestPolicyFanout(t *testing.T) {
+	models, _ := testEnv(t)
+	cl, err := StartCluster(ClusterOptions{Instances: 2, Models: models})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	before := map[string]float64{}
+	for _, inst := range cl.Instances() {
+		ae, _ := inst.Runtime().Thresholds()
+		before[inst.ID()] = ae
+	}
+	if err := cl.Coordinator.PushPolicy(smo.Policy{ID: "fed-tune", ThresholdPercentile: 90}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, inst := range cl.Instances() {
+		for {
+			ae, _ := inst.Runtime().Thresholds()
+			if ae != before[inst.ID()] {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("instance %s never applied the fanned-out policy", inst.ID())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

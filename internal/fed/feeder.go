@@ -1,0 +1,208 @@
+package fed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/e2sm"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/prov"
+)
+
+// Feeder is a synthetic E2 node: it speaks the gNB-side E2 Setup and
+// subscription handshake over an endpoint, then emits caller-supplied
+// MobiFlow records as UE-scoped RIC Indications. Unlike the full gnb
+// stack — whose attack drivers mint a fresh CU UE context per connection
+// — the feeder gives federation tests and benches exact control of UE
+// identity, so the same UEID keeps transmitting after its state has
+// migrated to another instance.
+type Feeder struct {
+	nodeID string
+	ep     *e2ap.Endpoint
+
+	mu       sync.Mutex
+	reqID    e2ap.RequestID
+	actionID uint16
+	admitted bool
+	sn       uint64
+	hdrEnc   asn1lite.Encoder
+	msgEnc   asn1lite.Encoder
+	closed   bool
+
+	ready chan struct{}
+	done  chan struct{}
+}
+
+// NewFeeder starts the E2 handshake on ep and returns immediately; use
+// WaitReady to block until an xApp subscription has been admitted.
+func NewFeeder(nodeID string, ep *e2ap.Endpoint) *Feeder {
+	f := &Feeder{
+		nodeID: nodeID,
+		ep:     ep,
+		ready:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	ep.SetNodeID(nodeID)
+	go f.run()
+	return f
+}
+
+// NodeID returns the E2 node identity this feeder registered with.
+func (f *Feeder) NodeID() string { return f.nodeID }
+
+func (f *Feeder) run() {
+	defer close(f.done)
+	setup := &e2ap.Message{
+		Type:   e2ap.TypeE2SetupRequest,
+		NodeID: f.nodeID,
+		RANFunctions: []e2ap.RANFunction{
+			{
+				ID:         e2sm.MobiFlowRANFunctionID,
+				OID:        e2sm.MobiFlowOID,
+				Definition: asn1lite.Marshal(e2sm.MobiFlowFunctionDefinition()),
+			},
+			{
+				ID:         e2sm.XRCRANFunctionID,
+				OID:        e2sm.XRCOID,
+				Definition: asn1lite.Marshal(e2sm.XRCFunctionDefinition()),
+			},
+		},
+	}
+	if err := f.ep.Send(setup); err != nil {
+		return
+	}
+	first, err := f.ep.Recv()
+	if err != nil || first.Type != e2ap.TypeE2SetupResponse {
+		return
+	}
+	for {
+		msg, err := f.ep.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case e2ap.TypeSubscriptionRequest:
+			f.handleSubscribe(msg)
+		case e2ap.TypeSubscriptionDeleteRequest:
+			f.ep.Send(&e2ap.Message{
+				Type: e2ap.TypeSubscriptionDeleteResponse, RequestID: msg.RequestID,
+				RANFunctionID: msg.RANFunctionID,
+			})
+		case e2ap.TypeControlRequest:
+			// The feeder carries telemetry only; acknowledge control so a
+			// mitigation engine wired to the same node does not time out.
+			f.ep.Send(&e2ap.Message{
+				Type: e2ap.TypeControlAck, RequestID: msg.RequestID,
+				RANFunctionID: msg.RANFunctionID,
+			})
+		}
+	}
+}
+
+func (f *Feeder) handleSubscribe(msg *e2ap.Message) {
+	if msg.RANFunctionID != e2sm.MobiFlowRANFunctionID {
+		f.ep.Send(&e2ap.Message{
+			Type: e2ap.TypeSubscriptionFailure, RequestID: msg.RequestID,
+			RANFunctionID: msg.RANFunctionID, Cause: "unsupported RAN function",
+		})
+		return
+	}
+	var admitted []uint16
+	for _, act := range msg.Actions {
+		if act.Type == e2ap.ActionReport {
+			admitted = append(admitted, act.ID)
+		}
+	}
+	if len(admitted) == 0 {
+		f.ep.Send(&e2ap.Message{
+			Type: e2ap.TypeSubscriptionFailure, RequestID: msg.RequestID,
+			RANFunctionID: msg.RANFunctionID, Cause: "no report action",
+		})
+		return
+	}
+	f.ep.Send(&e2ap.Message{
+		Type: e2ap.TypeSubscriptionResponse, RequestID: msg.RequestID,
+		RANFunctionID: msg.RANFunctionID, AdmittedActions: admitted,
+	})
+	f.mu.Lock()
+	f.reqID, f.actionID = msg.RequestID, admitted[0]
+	if !f.admitted {
+		f.admitted = true
+		close(f.ready)
+	}
+	f.mu.Unlock()
+}
+
+// WaitReady blocks until an xApp subscription has been admitted, so
+// emitted indications have a route.
+func (f *Feeder) WaitReady(timeout time.Duration) error {
+	select {
+	case <-f.ready:
+		return nil
+	case <-f.done:
+		return fmt.Errorf("fed: feeder %s: handshake ended before subscription", f.nodeID)
+	case <-time.After(timeout):
+		return fmt.Errorf("fed: feeder %s: no subscription within %v", f.nodeID, timeout)
+	}
+}
+
+// Emit ships one UE-scoped indication carrying records and roots its
+// provenance chain, exactly like the gNB agent's reporter.
+func (f *Feeder) Emit(ue uint64, records mobiflow.Trace) error {
+	if len(records) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("fed: feeder %s closed", f.nodeID)
+	}
+	if !f.admitted {
+		return fmt.Errorf("fed: feeder %s has no admitted subscription", f.nodeID)
+	}
+	f.sn++
+	hdr := e2sm.IndicationHeader{
+		NodeID:          f.nodeID,
+		CollectionStart: records[0].Timestamp,
+		BatchSeq:        f.sn,
+		UEID:            ue,
+	}
+	f.hdrEnc.Reset()
+	hdr.MarshalTLV(&f.hdrEnc)
+	f.msgEnc.Reset()
+	mobiflow.AppendTrace(&f.msgEnc, records)
+	ind := e2ap.Message{
+		Type:              e2ap.TypeIndication,
+		RequestID:         f.reqID,
+		RANFunctionID:     e2sm.MobiFlowRANFunctionID,
+		ActionID:          f.actionID,
+		IndicationSN:      f.sn,
+		IndicationHeader:  f.hdrEnc.Bytes(),
+		IndicationMessage: f.msgEnc.Bytes(),
+	}
+	if err := f.ep.Send(&ind); err != nil {
+		return fmt.Errorf("fed: feeder %s emit: %w", f.nodeID, err)
+	}
+	prov.Record(prov.Event{
+		Chain:    prov.ChainID{Node: f.nodeID, SN: f.sn},
+		Kind:     prov.KindEmit,
+		At:       records[0].Timestamp,
+		SeqFirst: records.FirstSeq(),
+		SeqLast:  records.LastSeq(),
+		Records:  uint32(len(records)),
+		Digest:   prov.DigestRecords(records),
+	})
+	return nil
+}
+
+// Close tears the feeder's transport down.
+func (f *Feeder) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.ep.Close()
+	<-f.done
+}

@@ -1,0 +1,538 @@
+package fed
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/asn1lite"
+	"github.com/6g-xsec/xsec/internal/e2ap"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
+	"github.com/6g-xsec/xsec/internal/ric"
+	"github.com/6g-xsec/xsec/internal/sdl"
+	"github.com/6g-xsec/xsec/internal/smo"
+	"github.com/6g-xsec/xsec/internal/wire"
+)
+
+// migrateMsg carries one UE's checkpointed state toward its new owner
+// on TopicMigrate.
+type migrateMsg struct {
+	Epoch    uint64
+	Source   string
+	Dest     string
+	UE       uint64
+	Snapshot []byte
+}
+
+func (m *migrateMsg) MarshalTLV(e *asn1lite.Encoder) {
+	e.PutUint(1, m.Epoch)
+	e.PutString(2, m.Source)
+	e.PutString(3, m.Dest)
+	e.PutUint(4, m.UE)
+	e.PutBytes(5, m.Snapshot)
+}
+
+func (m *migrateMsg) UnmarshalTLV(d *asn1lite.Decoder) error {
+	*m = migrateMsg{}
+	for d.Next() {
+		var err error
+		switch d.Tag() {
+		case 1:
+			m.Epoch, err = d.Uint()
+		case 2:
+			m.Source, err = d.String()
+		case 3:
+			m.Dest, err = d.String()
+		case 4:
+			m.UE, err = d.Uint()
+		case 5:
+			m.Snapshot, err = d.Bytes()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// migrateAck confirms a restore on TopicMigrateAck; Source addresses the
+// instance that may now forget the UE.
+type migrateAck struct {
+	Source string
+	Dest   string
+	UE     uint64
+}
+
+func (m *migrateAck) MarshalTLV(e *asn1lite.Encoder) {
+	e.PutString(1, m.Source)
+	e.PutString(2, m.Dest)
+	e.PutUint(3, m.UE)
+}
+
+func (m *migrateAck) UnmarshalTLV(d *asn1lite.Decoder) error {
+	*m = migrateAck{}
+	for d.Next() {
+		var err error
+		switch d.Tag() {
+		case 1:
+			m.Source, err = d.String()
+		case 2:
+			m.Dest, err = d.String()
+		case 3:
+			m.UE, err = d.Uint()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// InstanceOptions configures one federated RIC instance.
+type InstanceOptions struct {
+	// ID is the instance's federation identity (e.g. "ric-0").
+	ID string
+	// Models are the deployed MobiWatch models (required).
+	Models *mobiwatch.Models
+	// BusAddr is the broker address; empty runs the instance standalone
+	// (no federation, detection only).
+	BusAddr string
+	// Dial overrides the bus transport (tests inject failures).
+	Dial func() (*wire.Conn, error)
+	// Store is the instance's SDL (default: a fresh store).
+	Store *sdl.Store
+	// Shards / ShardBuffer / ReportPeriod tune the MobiWatch runtime.
+	Shards       int
+	ShardBuffer  int
+	ReportPeriod time.Duration
+	// MigrationTimeout bounds checkpoint-to-ack for one outbound
+	// migration (default 5s); on expiry the UE stays local.
+	MigrationTimeout time.Duration
+	// MaxConcurrentMigrations bounds parallel outbound migrations during
+	// a rebalance (default 4), so a ring change cannot stampede the bus.
+	MaxConcurrentMigrations int
+	// OwnerTTL is the ownership lease written on restore (default 10s).
+	OwnerTTL time.Duration
+}
+
+func (o *InstanceOptions) defaults() error {
+	if o.ID == "" {
+		return fmt.Errorf("fed: instance ID required")
+	}
+	if o.Models == nil {
+		return fmt.Errorf("fed: instance %s: models required", o.ID)
+	}
+	if o.Store == nil {
+		o.Store = sdl.New()
+	}
+	if o.Shards == 0 {
+		o.Shards = 2
+	}
+	if o.MigrationTimeout == 0 {
+		o.MigrationTimeout = 5 * time.Second
+	}
+	if o.MaxConcurrentMigrations == 0 {
+		o.MaxConcurrentMigrations = 4
+	}
+	if o.OwnerTTL == 0 {
+		o.OwnerTTL = 10 * time.Second
+	}
+	return nil
+}
+
+// Instance is one federated near-RT RIC: a platform with an attached
+// feeder node, the MobiWatch runtime scoring that node's telemetry, and
+// the bus endpoints of the migration protocol. When the bus is
+// unreachable the instance keeps detecting standalone — federation
+// degrades, the security function does not.
+type Instance struct {
+	opts     InstanceOptions
+	id       string
+	store    *sdl.Store
+	platform *ric.Platform
+	rt       *mobiwatch.Runtime
+	feeder   *Feeder
+	bus      *Client
+
+	mu       sync.Mutex
+	ring     *Ring
+	inflight map[uint64]*outMigration
+	migSem   chan struct{}
+	stopped  bool
+}
+
+type outMigration struct {
+	start time.Time
+	done  chan struct{}
+}
+
+// StartInstance brings one instance up and, when a bus address is
+// configured, joins it to the federation topics.
+func StartInstance(opts InstanceOptions) (*Instance, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	i := &Instance{
+		opts:     opts,
+		id:       opts.ID,
+		store:    opts.Store,
+		inflight: make(map[uint64]*outMigration),
+		migSem:   make(chan struct{}, opts.MaxConcurrentMigrations),
+	}
+	i.platform = ric.NewPlatform(opts.Store)
+
+	feederEp, platEp := e2ap.Pipe()
+	go i.platform.AttachNode(platEp)
+	i.feeder = NewFeeder("gnb-"+opts.ID, feederEp)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(i.platform.Nodes()) == 0 {
+		if time.Now().After(deadline) {
+			i.teardown()
+			return nil, fmt.Errorf("fed: instance %s: feeder node never attached", opts.ID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	xapp, err := i.platform.RegisterXApp("mobiwatch")
+	if err != nil {
+		i.teardown()
+		return nil, fmt.Errorf("fed: instance %s: %w", opts.ID, err)
+	}
+	// Deploy a private copy of the models: A1 threshold policies mutate
+	// the runtime's model state, and federated instances apply policies
+	// independently.
+	saved, err := opts.Models.Save()
+	if err != nil {
+		i.teardown()
+		return nil, fmt.Errorf("fed: instance %s: %w", opts.ID, err)
+	}
+	models, err := mobiwatch.Load(saved)
+	if err != nil {
+		i.teardown()
+		return nil, fmt.Errorf("fed: instance %s: %w", opts.ID, err)
+	}
+	i.rt, err = mobiwatch.Run(xapp, models, mobiwatch.RunOptions{
+		NodeID:       i.feeder.NodeID(),
+		Shards:       opts.Shards,
+		ShardBuffer:  opts.ShardBuffer,
+		ReportPeriod: opts.ReportPeriod,
+	})
+	if err != nil {
+		i.teardown()
+		return nil, fmt.Errorf("fed: instance %s: mobiwatch: %w", opts.ID, err)
+	}
+	if err := i.feeder.WaitReady(2 * time.Second); err != nil {
+		i.teardown()
+		return nil, err
+	}
+
+	dial := opts.Dial
+	if dial == nil && opts.BusAddr != "" {
+		addr := opts.BusAddr
+		dial = func() (*wire.Conn, error) { return wire.Dial(addr, time.Second) }
+	}
+	if dial != nil {
+		i.bus = NewClient(opts.ID, dial)
+		i.bus.Subscribe(TopicRing, i.onRing)
+		i.bus.Subscribe(TopicPolicy, i.onPolicy)
+		i.bus.Subscribe(TopicMigrate, i.onMigrate)
+		i.bus.Subscribe(TopicMigrateAck, i.onAck)
+	}
+	obs.RegisterHealth("fed/"+opts.ID, i.health)
+	return i, nil
+}
+
+func (i *Instance) teardown() {
+	if i.rt != nil {
+		i.rt.Stop()
+	}
+	if i.feeder != nil {
+		i.feeder.Close()
+	}
+	i.platform.Close()
+}
+
+// ID returns the instance's federation identity.
+func (i *Instance) ID() string { return i.id }
+
+// Feeder returns the instance's synthetic E2 node.
+func (i *Instance) Feeder() *Feeder { return i.feeder }
+
+// Runtime returns the MobiWatch runtime (alerts, stats, thresholds).
+func (i *Instance) Runtime() *mobiwatch.Runtime { return i.rt }
+
+// Store returns the instance's SDL.
+func (i *Instance) Store() *sdl.Store { return i.store }
+
+// Bus returns the instance's bus client (nil when standalone).
+func (i *Instance) Bus() *Client { return i.bus }
+
+// Records returns how many telemetry records this instance has scored.
+// The counter is readable after Stop, so zero-loss accounting can still
+// include retired instances.
+func (i *Instance) Records() uint64 {
+	return i.rt.Stats().RecordsSeen.Load()
+}
+
+// RingEpoch returns the last ring epoch this instance applied (0 before
+// the first).
+func (i *Instance) RingEpoch() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.ring == nil {
+		return 0
+	}
+	return i.ring.Epoch
+}
+
+// Owns reports whether this instance owns ue in its applied ring; with
+// no ring applied (standalone) it owns everything it sees.
+func (i *Instance) Owns(ue uint64) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.ring == nil {
+		return true
+	}
+	return i.ring.Owner(ue) == i.id
+}
+
+// health is the /healthz readiness check: a federated instance is ready
+// when it is running and its bus is reachable; degraded mode is
+// reported, not hidden.
+func (i *Instance) health() error {
+	i.mu.Lock()
+	stopped := i.stopped
+	i.mu.Unlock()
+	if stopped {
+		return fmt.Errorf("instance stopped")
+	}
+	if i.bus != nil && !i.bus.Connected() {
+		return fmt.Errorf("bus unreachable (degraded: standalone detection, no migration)")
+	}
+	return nil
+}
+
+// onRing applies a published ring epoch and migrates out every UE this
+// instance holds but no longer owns. Migrations run concurrently under
+// the MaxConcurrentMigrations semaphore.
+func (i *Instance) onRing(_ uint64, payload []byte) {
+	r, err := ParseRing(payload)
+	if err != nil {
+		obs.L().Warn("fed: bad ring payload", "instance", i.id, "err", err)
+		return
+	}
+	i.mu.Lock()
+	if i.stopped || (i.ring != nil && r.Epoch <= i.ring.Epoch) {
+		i.mu.Unlock()
+		return
+	}
+	i.ring = r
+	i.mu.Unlock()
+	obsRingEpoch.With(i.id).Set(float64(r.Epoch))
+	obsOwnedFraction.With(i.id).Set(r.OwnedFraction(i.id))
+	obs.L().Info("fed: ring applied", "instance", i.id, "epoch", r.Epoch,
+		"instances", len(r.Instances), "owned", fmt.Sprintf("%.3f", r.OwnedFraction(i.id)))
+
+	for _, ue := range i.rt.UEs() {
+		owner := r.Owner(ue)
+		if owner == "" || owner == i.id {
+			continue
+		}
+		go func(ue uint64, owner string) {
+			if err := i.MigrateUE(ue, owner); err != nil {
+				obs.L().Warn("fed: rebalance migration failed, UE stays local",
+					"instance", i.id, "ue", ue, "dest", owner, "err", err)
+			}
+		}(ue, owner)
+	}
+}
+
+// onPolicy applies an A1 policy fanned out by the coordinator.
+func (i *Instance) onPolicy(_ uint64, payload []byte) {
+	p, err := smo.ParsePolicy(payload)
+	if err != nil {
+		obs.L().Warn("fed: bad policy payload", "instance", i.id, "err", err)
+		return
+	}
+	if p.ThresholdPercentile > 0 {
+		if err := i.rt.SetThresholdPercentile(p.ThresholdPercentile); err == nil {
+			obs.L().Info("fed: policy applied", "instance", i.id,
+				"policy", p.ID, "percentile", p.ThresholdPercentile)
+		}
+	}
+}
+
+// MigrateUE checkpoints ue, records the provenance hand-off, ships the
+// snapshot to dest, and forgets the UE once dest acknowledges the
+// restore. Until the ack arrives the UE keeps scoring locally, so a
+// failed or timed-out migration degrades to the pre-migration state
+// instead of losing the UE.
+func (i *Instance) MigrateUE(ue uint64, dest string) error {
+	if dest == i.id {
+		return nil
+	}
+	if i.bus == nil {
+		return fmt.Errorf("fed: instance %s is standalone, cannot migrate", i.id)
+	}
+	i.migSem <- struct{}{}
+	defer func() { <-i.migSem }()
+	obsMigrationsInflight.Add(1)
+	defer obsMigrationsInflight.Add(-1)
+
+	snap, err := i.rt.CheckpointUE(ue)
+	if err != nil {
+		return fmt.Errorf("fed: checkpoint UE %d: %w", ue, err)
+	}
+	start := time.Now()
+	m := &outMigration{start: start, done: make(chan struct{})}
+	i.mu.Lock()
+	if _, dup := i.inflight[ue]; dup {
+		i.mu.Unlock()
+		return fmt.Errorf("fed: UE %d migration already in flight", ue)
+	}
+	epoch := 0
+	if i.ring != nil {
+		epoch = i.ring.Epoch
+	}
+	i.inflight[ue] = m
+	i.mu.Unlock()
+
+	// The hand-off is recorded on the chain of the UE's last scored
+	// indication before the snapshot leaves this instance, so the
+	// evidence trail cannot end without naming where the state went.
+	prov.Record(prov.Event{
+		Chain:    prov.ChainID{Node: snap.Node, SN: snap.LastSN},
+		Kind:     prov.KindMigration,
+		At:       start,
+		Label:    "out",
+		UEID:     ue,
+		Target:   dest,
+		SeqFirst: snap.Records.FirstSeq(),
+		SeqLast:  snap.Records.LastSeq(),
+	})
+
+	msg := migrateMsg{
+		Epoch: uint64(epoch), Source: i.id, Dest: dest, UE: ue,
+		Snapshot: mobiwatch.EncodeSnapshot(snap),
+	}
+	if err := i.bus.Publish(TopicMigrate, asn1lite.Marshal(&msg)); err != nil {
+		i.clearInflight(ue)
+		obsMigrations.With(i.id, "failed").Inc()
+		return err
+	}
+
+	select {
+	case <-m.done:
+		if err := i.rt.ForgetUE(ue); err != nil {
+			obs.L().Warn("fed: forget after ack", "instance", i.id, "ue", ue, "err", err)
+		}
+		obsMigrations.With(i.id, "out").Inc()
+		obsMigrationSeconds.Observe(time.Since(start).Seconds())
+		return nil
+	case <-time.After(i.opts.MigrationTimeout):
+		i.clearInflight(ue)
+		obsMigrations.With(i.id, "failed").Inc()
+		return fmt.Errorf("fed: UE %d migration to %s: no ack within %v (UE stays local)",
+			ue, dest, i.opts.MigrationTimeout)
+	}
+}
+
+func (i *Instance) clearInflight(ue uint64) {
+	i.mu.Lock()
+	delete(i.inflight, ue)
+	i.mu.Unlock()
+}
+
+// onMigrate restores a snapshot addressed to this instance and claims
+// the UE's ownership lease before acknowledging, so the restored window
+// state is in place before the first post-migration indication scores.
+func (i *Instance) onMigrate(_ uint64, payload []byte) {
+	var msg migrateMsg
+	if err := asn1lite.Unmarshal(payload, &msg); err != nil || msg.Dest != i.id {
+		return
+	}
+	snap, err := mobiwatch.DecodeSnapshot(msg.Snapshot)
+	if err != nil {
+		obs.L().Warn("fed: bad snapshot", "instance", i.id, "ue", msg.UE, "err", err)
+		obsMigrations.With(i.id, "failed").Inc()
+		return
+	}
+	if err := i.rt.RestoreUE(snap); err != nil {
+		obs.L().Warn("fed: restore failed", "instance", i.id, "ue", msg.UE, "err", err)
+		obsMigrations.With(i.id, "failed").Inc()
+		return
+	}
+	i.store.SetOwnedTTL(OwnerNamespace, ownerKey(i.id, msg.UE),
+		[]byte(i.id), i.opts.OwnerTTL)
+	obsMigrations.With(i.id, "in").Inc()
+	ack := migrateAck{Source: msg.Source, Dest: i.id, UE: msg.UE}
+	if err := i.bus.Publish(TopicMigrateAck, asn1lite.Marshal(&ack)); err != nil {
+		obs.L().Warn("fed: ack publish failed", "instance", i.id, "ue", msg.UE, "err", err)
+	}
+}
+
+// onAck completes an outbound migration this instance is waiting on.
+// An ack that arrives after the waiter timed out is still adopted when
+// the applied ring assigns the UE elsewhere: the destination has
+// restored the state and holds the lease, so keeping a second live copy
+// here until the next ring change is strictly worse than dropping the
+// few records scored locally since the timeout (they are already
+// counted as scored; zero-loss accounting is unaffected). The ring
+// guard keeps a replayed ack — the bus redelivers on reconnect — from
+// forgetting a UE that has since migrated back.
+func (i *Instance) onAck(_ uint64, payload []byte) {
+	var ack migrateAck
+	if err := asn1lite.Unmarshal(payload, &ack); err != nil || ack.Source != i.id {
+		return
+	}
+	i.mu.Lock()
+	m := i.inflight[ack.UE]
+	delete(i.inflight, ack.UE)
+	ownsStill := i.ring == nil || i.ring.Owner(ack.UE) == i.id
+	i.mu.Unlock()
+	if m != nil {
+		close(m.done)
+		return
+	}
+	if ownsStill {
+		return
+	}
+	if err := i.rt.ForgetUE(ack.UE); err == nil {
+		obsMigrations.With(i.id, "out").Inc()
+		obs.L().Info("fed: late migration ack adopted",
+			"instance", i.id, "ue", ack.UE, "dest", ack.Dest)
+	}
+}
+
+func ownerKey(instance string, ue uint64) string {
+	return fmt.Sprintf("owner/%s/%d", instance, ue)
+}
+
+// UEs lists the UE contexts this instance currently holds.
+func (i *Instance) UEs() []uint64 { return i.rt.UEs() }
+
+// Alerts exposes the runtime's alert stream.
+func (i *Instance) Alerts() <-chan mobiwatch.Alert { return i.rt.Alerts() }
+
+// Stop retires the instance: bus first (no new migrations in), then the
+// scoring runtime, then the transports. The final record count stays
+// readable through Records.
+func (i *Instance) Stop() {
+	i.mu.Lock()
+	if i.stopped {
+		i.mu.Unlock()
+		return
+	}
+	i.stopped = true
+	i.mu.Unlock()
+	obs.UnregisterHealth("fed/" + i.id)
+	if i.bus != nil {
+		i.bus.Close()
+	}
+	i.rt.Stop()
+	i.feeder.Close()
+	i.platform.Close()
+}

@@ -1,0 +1,31 @@
+package fed
+
+import "github.com/6g-xsec/xsec/internal/obs"
+
+// Federation observability. Ownership and migration behavior must be
+// visible per instance even when N instances share one process (tests,
+// xsec-bench -fed), so every series is labeled by instance ID.
+var (
+	obsOwnedFraction = obs.NewGaugeVec("xsec_fed_owned_fraction",
+		"Share of the UE-hash circle owned by each instance in the current ring epoch.",
+		"instance")
+	obsRingEpoch = obs.NewGaugeVec("xsec_fed_ring_epoch",
+		"Ring epoch each instance has applied.", "instance")
+	obsMigrations = obs.NewCounterVec("xsec_fed_migrations_total",
+		"UE-state migrations, by instance and direction (out, in, failed).",
+		"instance", "direction")
+	obsMigrationsInflight = obs.NewGauge("xsec_fed_migrations_inflight",
+		"Outbound migrations currently awaiting the destination's ack.")
+	obsMigrationSeconds = obs.NewHistogram("xsec_fed_migration_seconds",
+		"Checkpoint-to-ack latency of completed outbound migrations.",
+		obs.ExpBuckets(0.0005, 2, 14))
+	obsBusPublished = obs.NewCounterVec("xsec_fed_bus_published_total",
+		"Messages published to the federation bus, by topic.", "topic")
+	obsBusDelivered = obs.NewCounterVec("xsec_fed_bus_delivered_total",
+		"Messages delivered to bus subscribers, by topic.", "topic")
+	obsBusDropped = obs.NewCounterVec("xsec_fed_bus_dropped_total",
+		"Bus messages dropped toward a slow subscriber, by topic.", "topic")
+	obsBusPublishFailures = obs.NewCounterVec("xsec_fed_bus_publish_failures_total",
+		"Publishes refused because the bus was unreachable (degraded mode).",
+		"instance")
+)

@@ -1,0 +1,104 @@
+package fed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+func TestRingOwnershipPartition(t *testing.T) {
+	r := NewRing(1, []string{"ric-0", "ric-1", "ric-2", "ric-3"}, 0)
+
+	// Every UE has exactly one owner, deterministically.
+	counts := map[string]int{}
+	for ue := uint64(1); ue <= 4000; ue++ {
+		owner := r.Owner(ue)
+		if !r.Contains(owner) {
+			t.Fatalf("UE %d owned by unknown instance %q", ue, owner)
+		}
+		if again := r.Owner(ue); again != owner {
+			t.Fatalf("UE %d owner not deterministic: %q then %q", ue, owner, again)
+		}
+		counts[owner]++
+	}
+	// With 64 vnodes the split should be roughly even; allow a wide
+	// tolerance so the test pins balance, not exact hash placement.
+	for inst, n := range counts {
+		share := float64(n) / 4000
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("instance %s owns %.1f%% of UEs, outside sane balance", inst, 100*share)
+		}
+	}
+
+	// Owned fractions cover the circle.
+	var total float64
+	for _, inst := range r.Instances {
+		f := r.OwnedFraction(inst)
+		if f <= 0 || f >= 1 {
+			t.Errorf("OwnedFraction(%s) = %v", inst, f)
+		}
+		total += f
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("fractions sum to %v, want 1", total)
+	}
+}
+
+func TestRingRebalanceIsIncremental(t *testing.T) {
+	r3 := NewRing(1, []string{"ric-0", "ric-1", "ric-2"}, 0)
+	r4 := r3.WithJoined("ric-3")
+	if r4.Epoch != 2 || !r4.Contains("ric-3") {
+		t.Fatalf("WithJoined: epoch %d instances %v", r4.Epoch, r4.Instances)
+	}
+
+	// Consistent hashing: a join may only move UEs *to* the joiner;
+	// ownership between surviving instances is undisturbed.
+	moved := 0
+	for ue := uint64(1); ue <= 2000; ue++ {
+		before, after := r3.Owner(ue), r4.Owner(ue)
+		if before != after {
+			moved++
+			if after != "ric-3" {
+				t.Fatalf("UE %d moved %s→%s on join of ric-3", ue, before, after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("join moved no UEs to the new instance")
+	}
+	if moved > 1000 {
+		t.Errorf("join moved %d/2000 UEs, want roughly 1/4", moved)
+	}
+
+	// And a leave only moves the leaver's UEs.
+	r4b := r4.WithLeft("ric-3")
+	for ue := uint64(1); ue <= 2000; ue++ {
+		if r4.Owner(ue) != "ric-3" && r4b.Owner(ue) != r4.Owner(ue) {
+			t.Fatalf("UE %d moved between survivors on leave", ue)
+		}
+	}
+}
+
+func TestRingPublishRoundtrip(t *testing.T) {
+	store := sdl.New()
+	r := NewRing(7, []string{"ric-a", "ric-b"}, 32)
+	if err := PublishRing(store, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadRing(store)
+	if !ok {
+		t.Fatal("ring not readable back")
+	}
+	if got.Epoch != 7 || got.Vnodes != 32 || len(got.Instances) != 2 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	for ue := uint64(1); ue <= 100; ue++ {
+		if got.Owner(ue) != r.Owner(ue) {
+			t.Fatalf("UE %d owner differs after roundtrip", ue)
+		}
+	}
+	if _, err := ParseRing([]byte("not json")); err == nil {
+		t.Error("ParseRing accepted garbage")
+	}
+}

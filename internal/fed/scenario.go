@@ -1,0 +1,273 @@
+package fed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/prov"
+	"github.com/6g-xsec/xsec/internal/sdl"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// ScenarioOptions configures the mid-attack migration scenario.
+type ScenarioOptions struct {
+	// Instances is the federation size (default 2; the attack source is
+	// "ric-0", the handover destination "ric-1").
+	Instances int
+	// Seed drives dataset generation and training (default 1).
+	Seed int64
+	// Models and Mixed, when set, skip the scenario's own dataset
+	// generation and training (tests and benches reuse a cached
+	// environment; the CLIs let the scenario build its own).
+	Models *mobiwatch.Models
+	Mixed  *dataset.Labeled
+	// AlertTimeout bounds the wait for the post-migration detection
+	// (default 10s).
+	AlertTimeout time.Duration
+}
+
+// ScenarioResult reports what the migration scenario observed.
+type ScenarioResult struct {
+	// AttackUEs are the BTS-DoS flood's UE contexts; all of them are
+	// migrated mid-attack from Source to Dest.
+	AttackUEs []uint64 `json:"attack_ues"`
+	Source    string   `json:"source"`
+	Dest      string   `json:"dest"`
+	// PreRecords/PostRecords split the attack stream at the handover.
+	PreRecords  int `json:"pre_records"`
+	PostRecords int `json:"post_records"`
+	// BoundarySeq is the highest record sequence fed before migration.
+	BoundarySeq uint64 `json:"boundary_seq"`
+	// AlertsOnDest counts attack alerts raised by the destination after
+	// the handover; detection continuity requires at least one.
+	AlertsOnDest int `json:"alerts_on_dest"`
+	// AlertSpansBoundary is the direct continuity witness: some alert
+	// window on the destination contains pre-migration records, which is
+	// only possible if the restored state was used.
+	AlertSpansBoundary bool `json:"alert_spans_boundary"`
+	// Audits holds one provenance verdict per migrated UE.
+	Audits []prov.MigrationAudit `json:"audits"`
+	// AuditsOK is true when every migrated UE's chains are joined with
+	// no scoring gap.
+	AuditsOK bool `json:"audits_ok"`
+	// Reachbacks counts audits whose first post-migration window also
+	// directly contains the UE's restored records (sequence-level
+	// witness; best-effort for interleaved floods, see prov.MigrationAudit).
+	Reachbacks int `json:"reachbacks"`
+	// TotalRecords is the cluster-wide scored-record count at the end;
+	// zero-loss means it equals PreRecords+PostRecords.
+	TotalRecords uint64 `json:"total_records"`
+	// Store keeps the cluster's provenance store readable after the
+	// cluster is torn down, so callers (xsec-audit) can render the
+	// joined chains the Audits refer to.
+	Store *sdl.Store `json:"-"`
+}
+
+// buildScenarioEnv trains models and generates the attack dataset with
+// the quick settings the repo's unit tests use.
+func buildScenarioEnv(seed int64) (*mobiwatch.Models, *dataset.Labeled, error) {
+	benign, err := dataset.GenerateBenign(dataset.BenignConfig{
+		Sessions: 40, Fleet: 10, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("fed: benign dataset: %w", err)
+	}
+	models, err := mobiwatch.Train(benign, mobiwatch.TrainOptions{
+		Window: 4, Percentile: 99, Epochs: 12, Seed: seed + 2,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("fed: training: %w", err)
+	}
+	mixed, err := dataset.GenerateMixed(dataset.MixedConfig{
+		BenignConfig:       dataset.BenignConfig{Fleet: 10, Seed: seed + 1},
+		InstancesPerAttack: 1,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("fed: attack dataset: %w", err)
+	}
+	return models, mixed, nil
+}
+
+// RunMigrationScenario replays a BTS-DoS flood against a federated
+// cluster and hands the attacking UEs over from ric-0 to ric-1 in the
+// middle of it: the first half of the attack stream arrives at the
+// source, every flood UE's window state is checkpointed and migrated,
+// and the second half arrives at the destination. It reports whether
+// the destination still detected the attack (using the restored
+// pre-migration history) and whether the provenance ledger shows every
+// migrated UE's evidence chains joined without a scoring gap.
+func RunMigrationScenario(opts ScenarioOptions) (*ScenarioResult, error) {
+	if opts.Instances < 2 {
+		opts.Instances = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.AlertTimeout == 0 {
+		opts.AlertTimeout = 10 * time.Second
+	}
+	models, mixed := opts.Models, opts.Mixed
+	if models == nil || mixed == nil {
+		var err error
+		models, mixed, err = buildScenarioEnv(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The BTS-DoS flood: every record of the attack's UE contexts, in
+	// stream order.
+	var attackUEs []uint64
+	for _, ev := range mixed.Events {
+		if ev.Kind == ue.AttackBTSDoS {
+			attackUEs = append(attackUEs, ev.UEIDs...)
+			break
+		}
+	}
+	if len(attackUEs) == 0 {
+		return nil, fmt.Errorf("fed: dataset contains no BTS-DoS event")
+	}
+	isAttack := make(map[uint64]bool, len(attackUEs))
+	for _, u := range attackUEs {
+		isAttack[u] = true
+	}
+	var flood mobiflow.Trace
+	for _, rec := range mixed.Trace {
+		if isAttack[rec.UEID] {
+			flood = append(flood, rec)
+		}
+	}
+	if len(flood) < 8 {
+		return nil, fmt.Errorf("fed: flood too short (%d records)", len(flood))
+	}
+	boundary := len(flood) / 2
+
+	cl, err := StartCluster(ClusterOptions{
+		Instances:     opts.Instances,
+		Models:        models,
+		InstallLedger: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	src, dest := cl.Instance("ric-0"), cl.Instance("ric-1")
+	res := &ScenarioResult{
+		AttackUEs:   attackUEs,
+		Source:      src.ID(),
+		Dest:        dest.ID(),
+		PreRecords:  boundary,
+		PostRecords: len(flood) - boundary,
+		BoundarySeq: flood[:boundary].LastSeq(),
+	}
+
+	// Drain destination alerts continuously; the channel is bounded.
+	var alertMu sync.Mutex
+	var destAlerts []mobiwatch.Alert
+	go func() {
+		for a := range dest.Alerts() {
+			alertMu.Lock()
+			destAlerts = append(destAlerts, a)
+			alertMu.Unlock()
+		}
+	}()
+	go func() {
+		for range src.Alerts() {
+		}
+	}()
+	snapshotAlerts := func() []mobiwatch.Alert {
+		alertMu.Lock()
+		defer alertMu.Unlock()
+		return append([]mobiwatch.Alert(nil), destAlerts...)
+	}
+
+	// First half of the flood hits the source's cells.
+	for _, rec := range flood[:boundary] {
+		if err := src.Feeder().Emit(rec.UEID, mobiflow.Trace{rec}); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.WaitRecords(uint64(boundary), 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Handover mid-attack: every flood UE the source holds moves to the
+	// destination, state and all.
+	migrated := map[uint64]bool{}
+	for _, u := range attackUEs {
+		if migrated[u] {
+			continue
+		}
+		migrated[u] = true
+		if err := cl.MigrateUE(u, src.ID(), dest.ID()); err != nil {
+			return nil, fmt.Errorf("fed: migrating UE %d: %w", u, err)
+		}
+	}
+
+	// Second half of the flood arrives at the destination.
+	for _, rec := range flood[boundary:] {
+		if err := dest.Feeder().Emit(rec.UEID, mobiflow.Trace{rec}); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.WaitRecords(uint64(len(flood)), 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Wait for the destination to flag the flood and for the deferred
+	// window flushes to land in the ledger: the batched scoring path
+	// records window provenance at the next tensor flush (BatchAge), so
+	// the ledger can trail the record counters by a few milliseconds.
+	deadline := time.Now().Add(opts.AlertTimeout)
+	for {
+		res.AlertsOnDest, res.AlertSpansBoundary =
+			summarizeAlerts(snapshotAlerts(), isAttack, res.BoundarySeq)
+		res.Audits = cl.AuditMigrations()
+		res.AuditsOK = len(res.Audits) > 0
+		for _, a := range res.Audits {
+			if !a.OK() {
+				res.AuditsOK = false
+			}
+		}
+		if (res.AlertsOnDest > 0 && res.AuditsOK) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res.TotalRecords = cl.TotalRecords()
+	res.Store = cl.Store
+	for _, a := range res.Audits {
+		if a.Reachback {
+			res.Reachbacks++
+		}
+	}
+	sort.Slice(res.Audits, func(i, j int) bool { return res.Audits[i].UEID < res.Audits[j].UEID })
+	return res, nil
+}
+
+func summarizeAlerts(alerts []mobiwatch.Alert, isAttack map[uint64]bool, boundarySeq uint64) (int, bool) {
+	count, spans := 0, false
+	for _, a := range alerts {
+		hit := false
+		for _, rec := range a.Window {
+			if isAttack[rec.UEID] {
+				hit = true
+			}
+		}
+		if !hit {
+			continue
+		}
+		count++
+		if a.Window.FirstSeq() <= boundarySeq {
+			spans = true
+		}
+	}
+	return count, spans
+}

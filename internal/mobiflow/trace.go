@@ -34,6 +34,33 @@ func (t Trace) FilterUE(ueID uint64) Trace {
 	return out
 }
 
+// FirstSeq returns the lowest sequence number in the trace (0 when
+// empty). The trace need not be sorted.
+func (t Trace) FirstSeq() uint64 {
+	if len(t) == 0 {
+		return 0
+	}
+	first := t[0].Seq
+	for _, r := range t[1:] {
+		if r.Seq < first {
+			first = r.Seq
+		}
+	}
+	return first
+}
+
+// LastSeq returns the highest sequence number in the trace (0 when
+// empty). The trace need not be sorted.
+func (t Trace) LastSeq() uint64 {
+	var last uint64
+	for _, r := range t {
+		if r.Seq > last {
+			last = r.Seq
+		}
+	}
+	return last
+}
+
 // UEs returns the distinct UE context IDs in the trace, sorted.
 func (t Trace) UEs() []uint64 {
 	seen := make(map[uint64]bool)

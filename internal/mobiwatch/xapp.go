@@ -161,6 +161,7 @@ type Runtime struct {
 	// side per batch, SetThresholdPercentile the write side.
 	thMu       sync.RWMutex
 	queueDepth *obs.Gauge
+	workers    []*worker
 	done       chan struct{}
 }
 
@@ -179,6 +180,14 @@ type worker struct {
 	keyBuf  []byte         // reusable SDL key-rendering buffer
 	batchAt time.Time      // RIC arrival time of the batch being ingested
 	batchSN uint64         // its E2 indication sequence number
+
+	// Migration state (migrate.go): the control channel delivers
+	// checkpoint/restore operations into the worker goroutine; ueLast
+	// tracks each UE's latest provenance chain; joins holds restored
+	// UEs awaiting their first post-migration indication.
+	ctrl   chan ctrlOp
+	ueLast map[uint64]chainMark
+	joins  map[uint64]joinInfo
 }
 
 // Run subscribes MobiWatch to a node's MOBIFLOW telemetry and starts
@@ -220,7 +229,11 @@ func Run(x *ric.XApp, models *Models, opts RunOptions) (*Runtime, error) {
 		w := &worker{
 			rt:      rt,
 			encoder: feature.NewEncoder(models.Vocab),
+			ctrl:    make(chan ctrlOp),
+			ueLast:  make(map[uint64]chainMark),
+			joins:   make(map[uint64]joinInfo),
 		}
+		rt.workers = append(rt.workers, w)
 		if prec == nn.Float64 {
 			w.scratch = models.NewScoreScratch()
 		} else {
@@ -309,6 +322,8 @@ func (w *worker) loop(c <-chan ric.Indication) {
 			obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
 			span.End()
 			rt.queueDepth.Set(float64(len(rt.alerts)))
+		case op := <-w.ctrl:
+			w.handleCtrl(op)
 		case <-tick:
 			if w.fast.pending() == 0 {
 				continue
@@ -342,6 +357,26 @@ func (w *worker) ingest(ind ric.Indication, batch mobiflow.Trace) {
 	rt := w.rt
 	nodeID := ind.NodeID
 	w.batchAt, w.batchSN = ind.ReceivedAt, ind.SN
+	if ue := e2sm.PeekIndicationUE(ind.Header); ue != 0 {
+		w.ueLast[ue] = chainMark{node: nodeID, sn: ind.SN}
+		if j, ok := w.joins[ue]; ok {
+			// First indication for a migrated-in UE: join this chain to
+			// the one its history arrived from. The windows this batch
+			// completes land on the same chain, so an auditor sees
+			// restored history feeding the first post-migration score.
+			delete(w.joins, ue)
+			prov.Record(prov.Event{
+				Chain:    prov.ChainID{Node: nodeID, SN: ind.SN},
+				Kind:     prov.KindMigration,
+				At:       w.batchAt,
+				Label:    "in",
+				UEID:     ue,
+				SeqFirst: j.seqFirst,
+				SeqLast:  j.seqLast,
+				Note:     j.src.String(),
+			})
+		}
+	}
 	N := rt.models.Window
 	store := rt.xapp.SDL()
 	for _, rec := range batch {

@@ -2,16 +2,72 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 )
 
 var (
 	extMu       sync.Mutex
 	extHandlers map[string]http.Handler
+
+	healthMu     sync.Mutex
+	healthChecks map[string]func() error
 )
+
+// RegisterHealth adds a named readiness check to /healthz. The probe
+// returns 200 only while every registered check returns nil; a failing
+// check flips it to 503 with one "name: error" line per failure, so an
+// orchestrator steering traffic across federated instances sees exactly
+// which dependency is degraded. Re-registering a name replaces it.
+func RegisterHealth(name string, check func() error) {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	if healthChecks == nil {
+		healthChecks = make(map[string]func() error)
+	}
+	healthChecks[name] = check
+}
+
+// UnregisterHealth removes a readiness check (e.g. when the component
+// that registered it shuts down).
+func UnregisterHealth(name string) {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	delete(healthChecks, name)
+}
+
+func serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthMu.Lock()
+	names := make([]string, 0, len(healthChecks))
+	for n := range healthChecks {
+		names = append(names, n)
+	}
+	checks := make([]func() error, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		checks = append(checks, healthChecks[n])
+	}
+	healthMu.Unlock()
+
+	var failures []string
+	for i, check := range checks {
+		if err := check(); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v\n", names[i], err))
+		}
+	}
+	if len(failures) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		for _, line := range failures {
+			fmt.Fprint(w, line)
+		}
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
 
 // Handle registers an extension endpoint mounted by every subsequent
 // NewHandler call (and by ListenAndServe). Packages layered above obs
@@ -31,7 +87,7 @@ func Handle(pattern string, h http.Handler) {
 //
 //	/metrics      Prometheus text exposition (version 0.0.4)
 //	/traces       retained pipeline spans as JSON, oldest first
-//	/healthz      liveness probe
+//	/healthz      readiness probe aggregating RegisterHealth checks
 //	/debug/pprof  the standard Go profiler surface
 func NewHandler(reg *Registry, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
@@ -47,9 +103,7 @@ func NewHandler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(spans)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", serveHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

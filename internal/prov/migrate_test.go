@@ -1,0 +1,83 @@
+package prov
+
+import (
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+func TestAuditMigrations(t *testing.T) {
+	store := sdl.New()
+	l := New(Options{Store: store})
+	defer l.Close()
+	at := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+
+	// A fully joined, gap-free migration: out on the source chain, in on
+	// the destination chain whose first window reaches back into the
+	// migrated sequence range.
+	src := ChainID{Node: "ric-a", SN: 40}
+	dst := ChainID{Node: "ric-b", SN: 41}
+	l.Record(Event{Chain: src, Kind: KindWindow, At: at, Model: "autoencoder", SeqFirst: 1, SeqLast: 16})
+	l.Record(Event{Chain: src, Kind: KindMigration, At: at.Add(time.Millisecond),
+		Label: "out", UEID: 7, SeqFirst: 1, SeqLast: 16, Target: "inst-b"})
+	l.Record(Event{Chain: dst, Kind: KindMigration, At: at.Add(2 * time.Millisecond),
+		Label: "in", UEID: 7, SeqFirst: 1, SeqLast: 16, Note: src.String()})
+	l.Record(Event{Chain: dst, Kind: KindWindow, At: at.Add(3 * time.Millisecond),
+		Model: "autoencoder", SeqFirst: 2, SeqLast: 17, Flagged: true})
+
+	// An unjoined migration: the in link names a chain that was never
+	// persisted.
+	orphan := ChainID{Node: "ric-b", SN: 50}
+	l.Record(Event{Chain: orphan, Kind: KindMigration, At: at.Add(4 * time.Millisecond),
+		Label: "in", UEID: 8, SeqFirst: 5, SeqLast: 9, Note: "ric-ghost/1"})
+	l.Record(Event{Chain: orphan, Kind: KindWindow, At: at.Add(5 * time.Millisecond),
+		Model: "autoencoder", SeqFirst: 6, SeqLast: 10})
+
+	// A joined migration with a scoring gap: the chain carrying the join
+	// never scored a window — the restored state was installed but the
+	// joining indication's detection never happened.
+	gapSrc := ChainID{Node: "ric-a", SN: 60}
+	gapDst := ChainID{Node: "ric-c", SN: 61}
+	l.Record(Event{Chain: gapSrc, Kind: KindMigration, At: at.Add(6 * time.Millisecond),
+		Label: "out", UEID: 9, SeqFirst: 1, SeqLast: 4, Target: "inst-c"})
+	l.Record(Event{Chain: gapDst, Kind: KindMigration, At: at.Add(7 * time.Millisecond),
+		Label: "in", UEID: 9, SeqFirst: 1, SeqLast: 4, Note: gapSrc.String()})
+
+	// A joined migration of an interleaved-flood UE: the joining
+	// indication scored a window, but the window's range starts after
+	// the UE's own restored span (shared per-shard windows) — continuous
+	// without the sequence-level reachback.
+	farSrc := ChainID{Node: "ric-a", SN: 70}
+	farDst := ChainID{Node: "ric-c", SN: 71}
+	l.Record(Event{Chain: farSrc, Kind: KindMigration, At: at.Add(8 * time.Millisecond),
+		Label: "out", UEID: 10, SeqFirst: 1, SeqLast: 4, Target: "inst-c"})
+	l.Record(Event{Chain: farDst, Kind: KindMigration, At: at.Add(9 * time.Millisecond),
+		Label: "in", UEID: 10, SeqFirst: 1, SeqLast: 4, Note: farSrc.String()})
+	l.Record(Event{Chain: farDst, Kind: KindWindow, At: at.Add(10 * time.Millisecond),
+		Model: "autoencoder", SeqFirst: 20, SeqLast: 35})
+	l.Flush()
+
+	audits := AuditMigrations(store)
+	if len(audits) != 4 {
+		t.Fatalf("AuditMigrations found %d migrations, want 4: %+v", len(audits), audits)
+	}
+	byUE := make(map[uint64]MigrationAudit)
+	for _, a := range audits {
+		byUE[a.UEID] = a
+	}
+
+	good := byUE[7]
+	if !good.OK() || !good.Reachback || good.From != src || good.To != dst || good.Err != "" {
+		t.Fatalf("joined migration audit = %+v", good)
+	}
+	if a := byUE[8]; a.Joined || a.OK() || a.Err == "" {
+		t.Fatalf("orphan migration audit = %+v", a)
+	}
+	if a := byUE[9]; !a.Joined || a.Continuous || a.OK() || a.Err == "" {
+		t.Fatalf("gapped migration audit = %+v", a)
+	}
+	if a := byUE[10]; !a.OK() || a.Reachback || a.Err != "" {
+		t.Fatalf("interleaved migration audit = %+v", a)
+	}
+}

@@ -146,6 +146,25 @@ type Policy struct {
 	UpdatedAt time.Time `json:"updated_at"`
 }
 
+// Encode renders the policy in its A1 wire form (JSON), shared by the
+// SDL distribution path and the federation bus fan-out.
+func (p Policy) Encode() ([]byte, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("smo: encoding policy: %w", err)
+	}
+	return data, nil
+}
+
+// ParsePolicy parses the A1 wire form produced by Encode.
+func ParsePolicy(data []byte) (Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Policy{}, fmt.Errorf("smo: decoding policy: %w", err)
+	}
+	return p, nil
+}
+
 const policyNS = "a1/policies"
 
 // A1 distributes policies through the SDL.
@@ -163,9 +182,9 @@ func (a *A1) Put(p Policy) error {
 		return fmt.Errorf("smo: policy ID required")
 	}
 	p.UpdatedAt = a.clock()
-	data, err := json.Marshal(p)
+	data, err := p.Encode()
 	if err != nil {
-		return fmt.Errorf("smo: encoding policy: %w", err)
+		return err
 	}
 	a.store.Set(policyNS, p.ID, data)
 	return nil
@@ -177,8 +196,8 @@ func (a *A1) Get(id string) (Policy, bool) {
 	if !ok {
 		return Policy{}, false
 	}
-	var p Policy
-	if err := json.Unmarshal(raw, &p); err != nil {
+	p, err := ParsePolicy(raw)
+	if err != nil {
 		return Policy{}, false
 	}
 	return p, true
