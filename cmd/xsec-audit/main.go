@@ -11,12 +11,19 @@
 //	xsec-audit -chain gnb-001/42        # restrict the audit to one chain
 //	xsec-audit -endpoint http://host:9090 -label bts-dos   # query a live deployment's /prov
 //	xsec-audit -federation 2            # audit a federated mid-attack UE migration
+//	xsec-audit -fleet                   # audit the fleet observability plane end to end
 //
 // In testbed mode the command exits non-zero when any issued mitigation
 // action lacks a complete evidence chain — the auditability contract. In
 // federation mode it exits non-zero when any migrated UE's source and
 // destination chains are not joined, or the destination never scored the
-// joining indication.
+// joining indication. In fleet mode it exits non-zero when the crashed
+// instance is not auto-evicted, the migrated UE's trace does not stitch
+// across instances, or any SLO is burning error budget above threshold.
+//
+// -log-level (default $XSEC_LOG_LEVEL, else info) tunes structured log
+// verbosity; -metrics-addr serves /metrics, /healthz, and the /fleet/*
+// endpoints for the duration of the run.
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"github.com/6g-xsec/xsec/internal/fed"
 	"github.com/6g-xsec/xsec/internal/mitigate"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/obs/fleet"
 	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/ue"
 )
@@ -46,18 +55,28 @@ func main() {
 		until    = flag.String("until", "", "endpoint mode: RFC 3339 upper time bound")
 
 		federation  = flag.Int("federation", 0, "audit a federated migration: run N instances, hand the attack over mid-flood, verify joined chains")
+		fleetAudit  = flag.Bool("fleet", false, "audit the fleet observability plane: stitched traces, failure detection, SLO burn")
 		attack      = flag.String("attack", "bts-dos", "testbed mode: attack to launch and audit")
 		mitigateMod = flag.String("mitigate", "enforce", "testbed mode: mitigation engine mode (off | dry-run | enforce)")
 		sessions    = flag.Int("sessions", 60, "testbed mode: benign training sessions")
 		epochs      = flag.Int("epochs", 25, "testbed mode: training epochs")
 		seed        = flag.Int64("seed", 4, "testbed mode: seed")
+		logLevel    = flag.String("log-level", envDefault("XSEC_LOG_LEVEL", "info"), "log verbosity: debug | info | warn | error")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /fleet/* on this address for the run")
 	)
 	flag.Parse()
+
+	if err := setupObs(*logLevel, *metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "xsec-audit:", err)
+		os.Exit(1)
+	}
 
 	var err error
 	switch {
 	case *endpoint != "":
 		err = auditEndpoint(*endpoint, *chainID, *ueFilter, *label, *since, *until)
+	case *fleetAudit:
+		err = auditFleet(*seed)
 	case *federation > 0:
 		err = auditFederation(*federation, *seed)
 	default:
@@ -156,6 +175,98 @@ func auditFederation(instances int, seed int64) error {
 	}
 	fmt.Printf("audit OK: all %d migrated UE(s) have joined chains with scoring resumed at the join (%d with direct seq reachback)\n",
 		len(res.Audits), res.Reachbacks)
+	return nil
+}
+
+// auditFleet drives the fleet observability drill — a federation with
+// the SMO-side collector attached, a mid-attack migration, timed scrape
+// rounds, then a crash — and audits what the plane observed: the
+// migrated UE's spans must stitch into one cross-instance trace, the
+// crashed instance must be auto-evicted from the ring by the failure
+// detector alone, and no SLO may burn error budget above threshold.
+func auditFleet(seed int64) error {
+	fmt.Println("=== xsec-audit: fleet observability plane ===")
+	fmt.Println("training models, replaying the flood with a mid-attack migration, crashing an instance...")
+	res, err := fed.RunFleetDrill(fed.FleetDrillOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n--- fleet health (%d instances) ---\n", res.Instances)
+	for _, h := range res.Health {
+		line := fmt.Sprintf("%-8s %-8s seq=%-4d ues=%-3d records=%d", h.Instance, h.State, h.HeartbeatSeq, h.UEs, h.Records)
+		if !h.EvictedAt.IsZero() {
+			line += "  evicted"
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Printf("\n--- failure-detector journal (%d transitions) ---\n", res.JournalTransitions)
+	for _, tr := range fleet.ReadJournal(res.Store) {
+		fmt.Printf("#%d %s: %s -> %s (%s)\n", tr.Seq, tr.Instance, tr.From, tr.To, tr.Reason)
+	}
+
+	fmt.Printf("\n--- distributed traces ---\n")
+	fmt.Printf("%d stitched trace(s); migrated UE %d: %d segments across %d instances, %d spans, complete=%v\n",
+		res.StitchedTraces, res.MigratedUE, res.TraceSegments, res.TraceInstances, res.TraceSpans, res.TraceComplete)
+
+	fmt.Printf("\n--- SLOs ---\n")
+	for _, s := range res.SLOs {
+		status := "ok"
+		if s.Firing {
+			status = "FIRING"
+		}
+		fmt.Printf("%-18s target=%.4g sli=%.6f burn fast=%.3f slow=%.3f (threshold %.3g) %s\n",
+			s.Name, s.Target, s.SLI, s.BurnFast, s.BurnSlow, s.Threshold, status)
+	}
+
+	fmt.Printf("\nkill -> auto-evict: %s in %.3fs (ring updated=%v)\n",
+		res.Victim, res.KillToEvictSecs, res.EvictedFromRing)
+
+	var problems []string
+	if res.TraceSegments < 2 || !res.TraceComplete {
+		problems = append(problems, fmt.Sprintf("migrated UE %d did not yield a complete cross-instance trace", res.MigratedUE))
+	}
+	if !res.EvictedFromRing {
+		problems = append(problems, fmt.Sprintf("crashed instance %s was not auto-evicted from the ring", res.Victim))
+	}
+	if res.FiringSLOs > 0 {
+		problems = append(problems, fmt.Sprintf("%d SLO(s) burning error budget above threshold", res.FiringSLOs))
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "FAILED:", p)
+		}
+		return fmt.Errorf("fleet audit failed %d check(s)", len(problems))
+	}
+	fmt.Println("audit OK: trace stitched, victim auto-evicted, no SLO firing")
+	return nil
+}
+
+// envDefault returns the environment variable's value, or def when the
+// variable is unset or empty.
+func envDefault(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// setupObs applies the log level and, when requested, serves the
+// observability endpoints for the duration of the run.
+func setupObs(logLevel, metricsAddr string) error {
+	lv, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	obs.SetLogLevel(lv)
+	if metricsAddr != "" {
+		addr, _, err := obs.ListenAndServe(metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "metrics on http://"+addr)
+	}
 	return nil
 }
 

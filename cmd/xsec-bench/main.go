@@ -17,6 +17,12 @@
 //	xsec-bench -ingest -smoke       # reduced ingest workload (CI path check)
 //	xsec-bench -fed                 # federated throughput baseline → BENCH_fed.json
 //	xsec-bench -fed -smoke          # reduced federation workload (CI path check)
+//	xsec-bench -fleet               # fleet observability baseline → BENCH_fleet.json
+//	xsec-bench -fleet -smoke        # reduced fleet drill (CI path check)
+//
+// -log-level (default $XSEC_LOG_LEVEL, else info) tunes structured log
+// verbosity; -metrics-addr serves /metrics, /healthz, and the /fleet/*
+// endpoints for the duration of the run.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os"
 
 	"github.com/6g-xsec/xsec/internal/bench"
+	"github.com/6g-xsec/xsec/internal/obs"
 )
 
 func main() {
@@ -41,10 +48,18 @@ func main() {
 		provBench   = flag.Bool("prov", false, "measure provenance ledger overhead and chain reconstruction")
 		ingestBench = flag.Bool("ingest", false, "measure the telemetry ingest path, scaled vs unsharded baseline")
 		fedBench    = flag.Bool("fed", false, "measure federated multi-RIC throughput vs a single instance")
+		fleetBench  = flag.Bool("fleet", false, "measure the fleet observability plane: scrapes, trace stitching, failure detection")
 		smoke       = flag.Bool("smoke", false, "shrink the -ingest/-nn workload so CI exercises the path quickly")
 		outPath     = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
+		logLevel    = flag.String("log-level", envDefault("XSEC_LOG_LEVEL", "info"), "log verbosity: debug | info | warn | error")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /fleet/* on this address for the run")
 	)
 	flag.Parse()
+
+	if err := setupObs(*logLevel, *metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+		os.Exit(1)
+	}
 
 	cfg := bench.Config{Seed: *seed}
 	if *quick {
@@ -140,6 +155,20 @@ func main() {
 		writeBaseline(res.Format(), data, err, out)
 		return
 	}
+	if *fleetBench {
+		res, err := bench.RunFleetBench(bench.FleetOptions{Seed: *seed, Smoke: *smoke})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		out := *outPath
+		if out == "" {
+			out = "BENCH_fleet.json"
+		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
+		return
+	}
 	if *provBench {
 		res, err := bench.RunProvBench(cfg)
 		if err != nil {
@@ -161,6 +190,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(out)
+}
+
+// envDefault returns the environment variable's value, or def when the
+// variable is unset or empty.
+func envDefault(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// setupObs applies the log level and, when requested, serves the
+// observability endpoints for the duration of the run.
+func setupObs(logLevel, metricsAddr string) error {
+	lv, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	obs.SetLogLevel(lv)
+	if metricsAddr != "" {
+		addr, _, err := obs.ListenAndServe(metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "metrics on http://"+addr)
+	}
+	return nil
 }
 
 func run(cfg bench.Config, table, figure int, ablation string, all bool) (string, error) {

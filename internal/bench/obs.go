@@ -117,31 +117,7 @@ func RunObsBench(cfg Config) (*ObsBenchResult, error) {
 // by linear interpolation within the containing bucket (the classic
 // Prometheus histogram_quantile estimator).
 func histQuantile(buckets []obs.BucketSnapshot, q float64) float64 {
-	if len(buckets) == 0 {
-		return 0
-	}
-	total := buckets[len(buckets)-1].Count
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	var prevCount uint64
-	var prevBound float64
-	for i, b := range buckets {
-		if float64(b.Count) >= rank {
-			if i == len(buckets)-1 {
-				// +Inf bucket: report the highest finite bound.
-				return prevBound
-			}
-			inBucket := float64(b.Count - prevCount)
-			if inBucket == 0 {
-				return b.LE
-			}
-			return prevBound + (b.LE-prevBound)*((rank-float64(prevCount))/inBucket)
-		}
-		prevCount, prevBound = b.Count, b.LE
-	}
-	return prevBound
+	return obs.HistQuantile(buckets, q)
 }
 
 // JSON renders the baseline for BENCH_obs.json.

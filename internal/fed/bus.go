@@ -37,12 +37,18 @@ const (
 )
 
 // frame is the bus wire unit: op, topic, log offset (deliver and
-// subscribe), payload (publish and deliver).
+// subscribe), payload (publish and deliver). Trace and Pub are the
+// trace context: the originating chain key and the publisher's wall
+// clock, so a subscriber can record the bus hop as a span on the
+// message's distributed trace. Both are optional — untraced traffic
+// omits the tags and decodes exactly as before.
 type frame struct {
 	Op      uint64
 	Topic   string
 	Offset  uint64
 	Payload []byte
+	Trace   string
+	Pub     uint64 // publish wall clock, unix nanoseconds
 }
 
 func (f *frame) MarshalTLV(e *asn1lite.Encoder) {
@@ -51,6 +57,12 @@ func (f *frame) MarshalTLV(e *asn1lite.Encoder) {
 	e.PutUint(3, f.Offset)
 	if len(f.Payload) > 0 {
 		e.PutBytes(4, f.Payload)
+	}
+	if f.Trace != "" {
+		e.PutString(5, f.Trace)
+	}
+	if f.Pub != 0 {
+		e.PutUint(6, f.Pub)
 	}
 }
 
@@ -67,6 +79,10 @@ func (f *frame) UnmarshalTLV(d *asn1lite.Decoder) error {
 			f.Offset, err = d.Uint()
 		case 4:
 			f.Payload, err = d.Bytes()
+		case 5:
+			f.Trace, err = d.String()
+		case 6:
+			f.Pub, err = d.Uint()
 		}
 		if err != nil {
 			return err
@@ -75,11 +91,20 @@ func (f *frame) UnmarshalTLV(d *asn1lite.Decoder) error {
 	return d.Err()
 }
 
+// busMsg is one retained message: payload plus its trace context, kept
+// so replays after reconnect carry the same context as the original
+// delivery.
+type busMsg struct {
+	payload []byte
+	trace   string
+	pub     uint64
+}
+
 // topicLog is one topic's retained, offset-numbered message log. base
 // is the offset of msgs[0]; older messages have been trimmed.
 type topicLog struct {
 	base uint64
-	msgs [][]byte
+	msgs []busMsg
 }
 
 // busConn is one subscriber connection on the broker side. Frames are
@@ -102,8 +127,14 @@ type Broker struct {
 	mu     sync.Mutex
 	topics map[string]*topicLog
 	conns  map[*busConn]struct{}
+	local  map[string][]LocalHandler
 	closed bool
 }
+
+// LocalHandler observes bus traffic broker-side without a connection.
+// Handlers run synchronously after the broker lock is released, on the
+// goroutine that published — keep them fast and non-blocking.
+type LocalHandler func(offset uint64, payload []byte, trace string)
 
 // NewBroker listens on addr (use "127.0.0.1:0" for an ephemeral port).
 func NewBroker(addr string) (*Broker, error) {
@@ -116,6 +147,7 @@ func NewBroker(addr string) (*Broker, error) {
 		retain: DefaultRetain,
 		topics: make(map[string]*topicLog),
 		conns:  make(map[*busConn]struct{}),
+		local:  make(map[string][]LocalHandler),
 	}
 	go wire.Serve(ln, b.handle)
 	return b, nil
@@ -149,6 +181,27 @@ func (b *Broker) Close() {
 // coordinator publishes through this local method; remote instances
 // publish through their Client, which lands here via opPublish.
 func (b *Broker) Publish(topic string, payload []byte) error {
+	return b.publish(topic, payload, "", uint64(time.Now().UnixNano()))
+}
+
+// PublishTraced publishes with an attached trace context; subscribers
+// record the bus hop as a span on that trace.
+func (b *Broker) PublishTraced(topic string, payload []byte, trace string) error {
+	return b.publish(topic, payload, trace, uint64(time.Now().UnixNano()))
+}
+
+// SubscribeLocal registers a broker-side observer for topic. It sees
+// every future message on the topic (no replay of the retained log) and
+// runs on the publisher's goroutine after the broker lock is released.
+// The colocated fleet collector uses this to consume heartbeats and
+// reports without a loopback connection.
+func (b *Broker) SubscribeLocal(topic string, fn LocalHandler) {
+	b.mu.Lock()
+	b.local[topic] = append(b.local[topic], fn)
+	b.mu.Unlock()
+}
+
+func (b *Broker) publish(topic string, payload []byte, trace string, pub uint64) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -160,7 +213,7 @@ func (b *Broker) Publish(topic string, payload []byte) error {
 		b.topics[topic] = log
 	}
 	offset := log.base + uint64(len(log.msgs))
-	log.msgs = append(log.msgs, append([]byte(nil), payload...))
+	log.msgs = append(log.msgs, busMsg{payload: append([]byte(nil), payload...), trace: trace, pub: pub})
 	if len(log.msgs) > b.retain {
 		drop := len(log.msgs) - b.retain
 		log.msgs = log.msgs[drop:]
@@ -168,11 +221,15 @@ func (b *Broker) Publish(topic string, payload []byte) error {
 	}
 	for bc := range b.conns {
 		if bc.subs[topic] {
-			b.enqueue(bc, frame{Op: opDeliver, Topic: topic, Offset: offset, Payload: payload})
+			b.enqueue(bc, frame{Op: opDeliver, Topic: topic, Offset: offset, Payload: payload, Trace: trace, Pub: pub})
 		}
 	}
+	local := b.local[topic]
 	b.mu.Unlock()
 	obsBusPublished.With(topic).Inc()
+	for _, fn := range local {
+		fn(offset, payload, trace)
+	}
 	return nil
 }
 
@@ -222,7 +279,11 @@ func (b *Broker) handle(c *wire.Conn) {
 		}
 		switch f.Op {
 		case opPublish:
-			b.Publish(f.Topic, f.Payload)
+			pub := f.Pub
+			if pub == 0 {
+				pub = uint64(time.Now().UnixNano())
+			}
+			b.publish(f.Topic, f.Payload, f.Trace, pub)
 		case opSubscribe:
 			b.subscribe(bc, f.Topic, f.Offset)
 		}
@@ -252,7 +313,8 @@ func (b *Broker) subscribe(bc *busConn, topic string, from uint64) {
 		start = log.base
 	}
 	for off := start; off < log.base+uint64(len(log.msgs)); off++ {
-		b.enqueue(bc, frame{Op: opDeliver, Topic: topic, Offset: off, Payload: log.msgs[off-log.base]})
+		m := log.msgs[off-log.base]
+		b.enqueue(bc, frame{Op: opDeliver, Topic: topic, Offset: off, Payload: m.payload, Trace: m.trace, Pub: m.pub})
 	}
 }
 
@@ -269,7 +331,7 @@ type Client struct {
 	mu       sync.Mutex
 	conn     *wire.Conn
 	next     map[string]uint64
-	handlers map[string]func(offset uint64, payload []byte)
+	handlers map[string]func(offset uint64, payload []byte, trace string)
 	closed   bool
 
 	connected atomic.Bool
@@ -285,7 +347,7 @@ func NewClient(instance string, dial func() (*wire.Conn, error)) *Client {
 		instance: instance,
 		dial:     dial,
 		next:     make(map[string]uint64),
-		handlers: make(map[string]func(uint64, []byte)),
+		handlers: make(map[string]func(uint64, []byte, string)),
 		done:     make(chan struct{}),
 	}
 	c.wg.Add(1)
@@ -310,6 +372,13 @@ func (c *Client) PublishFailures() uint64 { return c.failures.Load() }
 // retained message (offset 0) on first subscription. Handlers run on
 // the client's read goroutine and must not block.
 func (c *Client) Subscribe(topic string, fn func(offset uint64, payload []byte)) {
+	c.SubscribeTraced(topic, func(offset uint64, payload []byte, _ string) { fn(offset, payload) })
+}
+
+// SubscribeTraced is Subscribe with the message's trace context (empty
+// for untraced traffic). The bus hop span is recorded by the client
+// before the handler runs.
+func (c *Client) SubscribeTraced(topic string, fn func(offset uint64, payload []byte, trace string)) {
 	c.mu.Lock()
 	c.handlers[topic] = fn
 	if _, ok := c.next[topic]; !ok {
@@ -326,6 +395,13 @@ func (c *Client) Subscribe(topic string, fn func(offset uint64, payload []byte))
 // is unreachable it fails fast — federation degrades to standalone
 // operation instead of blocking the detection path.
 func (c *Client) Publish(topic string, payload []byte) error {
+	return c.PublishTraced(topic, payload, "")
+}
+
+// PublishTraced publishes with a trace context: the chain key travels
+// in the frame (not the payload), and every subscriber records the bus
+// hop as a span on that trace.
+func (c *Client) PublishTraced(topic string, payload []byte, trace string) error {
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
@@ -334,7 +410,8 @@ func (c *Client) Publish(topic string, payload []byte) error {
 		obsBusPublishFailures.With(c.instance).Inc()
 		return errors.New("fed: bus unreachable (degraded)")
 	}
-	if err := c.send(conn, frame{Op: opPublish, Topic: topic, Payload: payload}); err != nil {
+	f := frame{Op: opPublish, Topic: topic, Payload: payload, Trace: trace, Pub: uint64(time.Now().UnixNano())}
+	if err := c.send(conn, f); err != nil {
 		c.failures.Add(1)
 		obsBusPublishFailures.With(c.instance).Inc()
 		conn.Close() // wake the read loop into reconnect
@@ -442,7 +519,12 @@ func (c *Client) read(conn *wire.Conn) {
 		}
 		c.mu.Unlock()
 		if fn != nil {
-			fn(f.Offset, f.Payload)
+			if f.Trace != "" && f.Pub != 0 {
+				// The bus hop itself becomes a span on the message's
+				// distributed trace: publisher's clock to arrival here.
+				obs.RecordSpan(f.Trace, "fed.bus."+f.Topic, time.Unix(0, int64(f.Pub)), time.Now())
+			}
+			fn(f.Offset, f.Payload, f.Trace)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/obs/fleet"
 	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/sdl"
 )
@@ -29,6 +30,12 @@ type ClusterOptions struct {
 	// coordinator's store for the cluster's lifetime, so migration
 	// hand-offs from every instance land in one auditable place.
 	InstallLedger bool
+	// HeartbeatPeriod is passed to every instance (see InstanceOptions).
+	HeartbeatPeriod time.Duration
+	// Fleet, when set, attaches a fleet collector (failure detection,
+	// metrics federation, SLOs, trace stitching) to the coordinator.
+	// Publish/Evict/Store are wired by the cluster.
+	Fleet *fleet.CollectorOptions
 }
 
 // Cluster wires N federated instances to one coordinator and broker in
@@ -40,9 +47,10 @@ type Cluster struct {
 	Broker      *Broker
 	Coordinator *Coordinator
 
-	opts   ClusterOptions
-	ledger *prov.Ledger
-	prev   *prov.Ledger
+	opts      ClusterOptions
+	ledger    *prov.Ledger
+	prev      *prov.Ledger
+	collector *fleet.Collector
 
 	mu        sync.Mutex
 	instances map[string]*Instance
@@ -77,6 +85,9 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	}
 	cl.Broker = broker
 	cl.Coordinator = NewCoordinator(store, broker, opts.Vnodes)
+	if opts.Fleet != nil {
+		cl.collector = StartFleet(cl.Coordinator, broker, store, *opts.Fleet)
+	}
 
 	ids := make([]string, 0, opts.Instances)
 	for n := 0; n < opts.Instances; n++ {
@@ -109,6 +120,7 @@ func (cl *Cluster) startInstance(id string) (*Instance, error) {
 		ShardBuffer:             cl.opts.ShardBuffer,
 		MigrationTimeout:        cl.opts.MigrationTimeout,
 		MaxConcurrentMigrations: cl.opts.MaxConcurrentMigrations,
+		HeartbeatPeriod:         cl.opts.HeartbeatPeriod,
 	})
 	if err != nil {
 		return nil, err
@@ -235,6 +247,24 @@ func (cl *Cluster) Leave(id string, drainTimeout time.Duration) error {
 	return nil
 }
 
+// Fleet returns the attached fleet collector (nil without
+// ClusterOptions.Fleet).
+func (cl *Cluster) Fleet() *fleet.Collector { return cl.collector }
+
+// Crash stops an instance abruptly WITHOUT telling the coordinator —
+// simulating a real failure. Nothing removes it from the ring except
+// the fleet collector's failure detector noticing the missing
+// heartbeats and auto-evicting it; without a collector attached, the
+// ring keeps routing to a dead member until a manual Leave.
+func (cl *Cluster) Crash(id string) error {
+	inst := cl.Instance(id)
+	if inst == nil {
+		return fmt.Errorf("fed: no instance %q", id)
+	}
+	cl.retire(id, inst)
+	return nil
+}
+
 // Kill stops an instance abruptly — no drain, its un-migrated window
 // state is lost (new owners cold-start those UEs) — then publishes the
 // ring without it so survivors take over its hash range.
@@ -318,6 +348,9 @@ func (cl *Cluster) Close() {
 	cl.mu.Unlock()
 	for _, inst := range insts {
 		inst.Stop()
+	}
+	if cl.collector != nil {
+		cl.collector.Stop()
 	}
 	if cl.Broker != nil {
 		cl.Broker.Close()

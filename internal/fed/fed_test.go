@@ -234,7 +234,7 @@ func TestDegradedStandalone(t *testing.T) {
 		t.Fatalf("degraded instance scored %d/%d records", got, len(tr))
 	}
 
-	if err := inst.health(); err == nil {
+	if _, err := inst.healthDetail(); err == nil {
 		t.Error("health check passes with unreachable bus")
 	}
 	if err := inst.MigrateUE(u, "ric-elsewhere"); err == nil {

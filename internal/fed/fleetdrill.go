@@ -1,0 +1,301 @@
+package fed
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/dataset"
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/mobiwatch"
+	"github.com/6g-xsec/xsec/internal/obs/fleet"
+	"github.com/6g-xsec/xsec/internal/sdl"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// FleetDrillOptions configure the fleet observability drill.
+type FleetDrillOptions struct {
+	// Instances is the federation size (default 4).
+	Instances int
+	// Seed drives dataset generation and training (default 1).
+	Seed int64
+	// Models and Mixed, when set, skip the drill's own dataset
+	// generation and training (benches and tests reuse a cached
+	// environment).
+	Models *mobiwatch.Models
+	Mixed  *dataset.Labeled
+	// HeartbeatPeriod, SuspectAfter, and DeadAfter compress the failure
+	// detector's timebase for the drill (defaults 50ms / 250ms / 600ms).
+	HeartbeatPeriod time.Duration
+	SuspectAfter    time.Duration
+	DeadAfter       time.Duration
+	// ScrapeRounds is how many timed federation scrapes to run
+	// (default 5).
+	ScrapeRounds int
+	// EvictTimeout bounds the wait for the killed instance's automatic
+	// eviction (default 10s).
+	EvictTimeout time.Duration
+}
+
+// FleetDrillResult reports what the drill observed.
+type FleetDrillResult struct {
+	Instances int `json:"instances"`
+
+	// Trace stitching: a UE migrated mid-attack must yield one stitched
+	// cross-instance trace with at least two segments.
+	MigratedUE     uint64 `json:"migrated_ue"`
+	StitchedTraces int    `json:"stitched_traces"`
+	// TraceSegments/TraceSpans describe the migrated UE's trace.
+	TraceSegments  int  `json:"trace_segments"`
+	TraceSpans     int  `json:"trace_spans"`
+	TraceComplete  bool `json:"trace_complete"`
+	TraceInstances int  `json:"trace_instances"`
+	// StitchSeconds is how long assembling all stitched traces took.
+	StitchSeconds float64 `json:"stitch_seconds"`
+
+	// Federation scrape cost: wall-clock per full round (request out to
+	// every live instance's report merged).
+	ScrapeRounds  int       `json:"scrape_rounds"`
+	ScrapeSeconds []float64 `json:"scrape_seconds"`
+
+	// Failure detection: Crash(victim) to the collector's auto-eviction.
+	Victim             string  `json:"victim"`
+	KillToEvictSecs    float64 `json:"kill_to_evict_seconds"`
+	EvictedFromRing    bool    `json:"evicted_from_ring"`
+	JournalTransitions int     `json:"journal_transitions"`
+
+	// Fleet surface at the end of the drill.
+	MergedSeries int                    `json:"merged_series"`
+	Health       []fleet.InstanceHealth `json:"health"`
+	SLOs         []fleet.SLOStatus      `json:"slos"`
+	FiringSLOs   int                    `json:"firing_slos"`
+
+	// Store keeps the SMO store readable after teardown (journal, prov).
+	Store *sdl.Store `json:"-"`
+}
+
+// RunFleetDrill exercises the whole fleet observability plane in one
+// pass: it stands up a federation with an attached collector, replays a
+// BTS-DoS flood with a mid-attack migration (producing a stitched
+// cross-instance trace), times federation scrape rounds, then crashes
+// an instance and measures how long the failure detector takes to
+// auto-evict it from the ring.
+func RunFleetDrill(opts FleetDrillOptions) (*FleetDrillResult, error) {
+	if opts.Instances < 2 {
+		opts.Instances = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.HeartbeatPeriod == 0 {
+		opts.HeartbeatPeriod = 50 * time.Millisecond
+	}
+	if opts.SuspectAfter == 0 {
+		opts.SuspectAfter = 250 * time.Millisecond
+	}
+	if opts.DeadAfter == 0 {
+		opts.DeadAfter = 600 * time.Millisecond
+	}
+	if opts.ScrapeRounds == 0 {
+		opts.ScrapeRounds = 5
+	}
+	if opts.EvictTimeout == 0 {
+		opts.EvictTimeout = 10 * time.Second
+	}
+	models, mixed := opts.Models, opts.Mixed
+	if models == nil || mixed == nil {
+		var err error
+		models, mixed, err = buildScenarioEnv(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var attackUEs []uint64
+	for _, ev := range mixed.Events {
+		if ev.Kind == ue.AttackBTSDoS {
+			attackUEs = append(attackUEs, ev.UEIDs...)
+			break
+		}
+	}
+	if len(attackUEs) == 0 {
+		return nil, fmt.Errorf("fed: dataset contains no BTS-DoS event")
+	}
+	isAttack := make(map[uint64]bool, len(attackUEs))
+	for _, u := range attackUEs {
+		isAttack[u] = true
+	}
+	var flood mobiflow.Trace
+	for _, rec := range mixed.Trace {
+		if isAttack[rec.UEID] {
+			flood = append(flood, rec)
+		}
+	}
+	if len(flood) < 8 {
+		return nil, fmt.Errorf("fed: flood too short (%d records)", len(flood))
+	}
+	boundary := len(flood) / 2
+
+	cl, err := StartCluster(ClusterOptions{
+		Instances:       opts.Instances,
+		Models:          models,
+		InstallLedger:   true,
+		HeartbeatPeriod: opts.HeartbeatPeriod,
+		Fleet: &fleet.CollectorOptions{
+			SuspectAfter: opts.SuspectAfter,
+			DeadAfter:    opts.DeadAfter,
+			ScrapePeriod: 500 * time.Millisecond,
+			SweepPeriod:  opts.HeartbeatPeriod / 2,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	col := cl.Fleet()
+
+	res := &FleetDrillResult{Instances: opts.Instances, Store: cl.Store}
+
+	// Drain every alert stream so the bounded channels never stall.
+	for _, inst := range cl.Instances() {
+		go func(ch <-chan mobiwatch.Alert) {
+			for range ch {
+			}
+		}(inst.Alerts())
+	}
+
+	// Wait for the first heartbeats so the detector knows the fleet.
+	if err := waitFor(5*time.Second, func() bool { return col.Alive() >= opts.Instances }); err != nil {
+		return nil, fmt.Errorf("fed: collector never saw all %d instances: %w", opts.Instances, err)
+	}
+
+	// Mid-attack migration: first half of the flood at ric-0, migrate
+	// the attacking UEs to ric-1, second half there.
+	src, dest := cl.Instance("ric-0"), cl.Instance("ric-1")
+	for _, rec := range flood[:boundary] {
+		if err := src.Feeder().Emit(rec.UEID, mobiflow.Trace{rec}); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.WaitRecords(uint64(boundary), 10*time.Second); err != nil {
+		return nil, err
+	}
+	migrated := map[uint64]bool{}
+	for _, u := range attackUEs {
+		if migrated[u] {
+			continue
+		}
+		migrated[u] = true
+		if err := cl.MigrateUE(u, src.ID(), dest.ID()); err != nil {
+			return nil, fmt.Errorf("fed: migrating UE %d: %w", u, err)
+		}
+	}
+	res.MigratedUE = attackUEs[0]
+	for _, rec := range flood[boundary:] {
+		if err := dest.Feeder().Emit(rec.UEID, mobiflow.Trace{rec}); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.WaitRecords(uint64(len(flood)), 10*time.Second); err != nil {
+		return nil, err
+	}
+	cl.FlushProv()
+
+	// Timed federation scrapes. Each round waits for every live
+	// instance's report, so the measurement covers request fan-out,
+	// snapshot assembly, bus transit, and merge.
+	for n := 0; n < opts.ScrapeRounds; n++ {
+		start := time.Now()
+		done := col.ScrapeOnce()
+		if done == nil {
+			return nil, fmt.Errorf("fed: scrape round %d refused", n)
+		}
+		select {
+		case <-done:
+			res.ScrapeSeconds = append(res.ScrapeSeconds, time.Since(start).Seconds())
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("fed: scrape round %d never completed", n)
+		}
+	}
+	res.ScrapeRounds = len(res.ScrapeSeconds)
+
+	// Trace stitching: the migrated UE's spans from both instances must
+	// assemble into one cross-instance trace.
+	stitchStart := time.Now()
+	traces := col.Traces()
+	res.StitchSeconds = time.Since(stitchStart).Seconds()
+	res.StitchedTraces = len(traces)
+	for _, tr := range traces {
+		if tr.UEID != res.MigratedUE {
+			continue
+		}
+		res.TraceSegments = len(tr.Segments)
+		res.TraceComplete = tr.Complete
+		insts := map[string]bool{}
+		for _, seg := range tr.Segments {
+			res.TraceSpans += len(seg.Spans)
+			if seg.Instance != "" {
+				insts[seg.Instance] = true
+			}
+		}
+		res.TraceInstances = len(insts)
+		break
+	}
+
+	// Kill drill: crash the last instance without telling the
+	// coordinator; only the failure detector can notice.
+	victim := fmt.Sprintf("ric-%d", opts.Instances-1)
+	res.Victim = victim
+	ringBefore := cl.Coordinator.Ring().Epoch
+	killedAt := time.Now()
+	if err := cl.Crash(victim); err != nil {
+		return nil, err
+	}
+	err = waitFor(opts.EvictTimeout, func() bool {
+		for _, h := range col.Health() {
+			if h.Instance == victim && h.State == fleet.StateDead {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fed: %s was never detected dead: %w", victim, err)
+	}
+	res.KillToEvictSecs = time.Since(killedAt).Seconds()
+
+	// The eviction must have published a ring without the victim.
+	ring := cl.Coordinator.Ring()
+	res.EvictedFromRing = ring.Epoch > ringBefore
+	for _, id := range ring.Instances {
+		if id == victim {
+			res.EvictedFromRing = false
+		}
+	}
+	res.JournalTransitions = len(fleet.ReadJournal(cl.Store))
+
+	res.MergedSeries = len(col.MergedSeries())
+	res.Health = col.Health()
+	res.SLOs = col.SLO()
+	for _, s := range res.SLOs {
+		if s.Firing {
+			res.FiringSLOs++
+		}
+	}
+	sort.Float64s(res.ScrapeSeconds)
+	return res, nil
+}
+
+// waitFor polls cond until true or timeout.
+func waitFor(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not met within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,37 @@
+package fed
+
+import (
+	"github.com/6g-xsec/xsec/internal/obs/fleet"
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// StartFleet attaches a fleet collector to a federation: heartbeats and
+// scrape reports are consumed broker-side (no loopback connection), the
+// scrape requests go out on the broker's bus, and a dead instance is
+// auto-evicted through the coordinator's Leave — survivors take over
+// its hash range on the next ring epoch. The collector's loops are
+// started; the caller owns Stop.
+func StartFleet(coord *Coordinator, broker *Broker, store *sdl.Store, opts fleet.CollectorOptions) *fleet.Collector {
+	opts.Publish = broker.Publish
+	opts.Store = store
+	if opts.Evict == nil {
+		opts.Evict = func(instance string) error {
+			_, err := coord.Leave(instance)
+			return err
+		}
+	}
+	col := fleet.NewCollector(opts)
+	broker.SubscribeLocal(fleet.TopicHeartbeat, func(_ uint64, payload []byte, _ string) {
+		if hb, err := fleet.ParseHeartbeat(payload); err == nil {
+			col.OnHeartbeat(hb)
+		}
+	})
+	broker.SubscribeLocal(fleet.TopicReport, func(_ uint64, payload []byte, _ string) {
+		if rep, err := fleet.ParseReport(payload); err == nil {
+			col.OnReport(rep)
+		}
+	})
+	col.Mount()
+	col.Start()
+	return col
+}

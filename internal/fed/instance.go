@@ -9,6 +9,7 @@ import (
 	"github.com/6g-xsec/xsec/internal/e2ap"
 	"github.com/6g-xsec/xsec/internal/mobiwatch"
 	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/obs/fleet"
 	"github.com/6g-xsec/xsec/internal/prov"
 	"github.com/6g-xsec/xsec/internal/ric"
 	"github.com/6g-xsec/xsec/internal/sdl"
@@ -17,13 +18,17 @@ import (
 )
 
 // migrateMsg carries one UE's checkpointed state toward its new owner
-// on TopicMigrate.
+// on TopicMigrate. Trace is the provenance chain key of the UE's last
+// scored indication on the source — the trace context that lets the
+// destination's restore span (and everything after it) stitch onto the
+// source's trace.
 type migrateMsg struct {
 	Epoch    uint64
 	Source   string
 	Dest     string
 	UE       uint64
 	Snapshot []byte
+	Trace    string
 }
 
 func (m *migrateMsg) MarshalTLV(e *asn1lite.Encoder) {
@@ -32,6 +37,9 @@ func (m *migrateMsg) MarshalTLV(e *asn1lite.Encoder) {
 	e.PutString(3, m.Dest)
 	e.PutUint(4, m.UE)
 	e.PutBytes(5, m.Snapshot)
+	if m.Trace != "" {
+		e.PutString(6, m.Trace)
+	}
 }
 
 func (m *migrateMsg) UnmarshalTLV(d *asn1lite.Decoder) error {
@@ -49,6 +57,8 @@ func (m *migrateMsg) UnmarshalTLV(d *asn1lite.Decoder) error {
 			m.UE, err = d.Uint()
 		case 5:
 			m.Snapshot, err = d.Bytes()
+		case 6:
+			m.Trace, err = d.String()
 		}
 		if err != nil {
 			return err
@@ -58,17 +68,22 @@ func (m *migrateMsg) UnmarshalTLV(d *asn1lite.Decoder) error {
 }
 
 // migrateAck confirms a restore on TopicMigrateAck; Source addresses the
-// instance that may now forget the UE.
+// instance that may now forget the UE. Trace echoes the migration's
+// trace context so the ack hop lands on the same distributed trace.
 type migrateAck struct {
 	Source string
 	Dest   string
 	UE     uint64
+	Trace  string
 }
 
 func (m *migrateAck) MarshalTLV(e *asn1lite.Encoder) {
 	e.PutString(1, m.Source)
 	e.PutString(2, m.Dest)
 	e.PutUint(3, m.UE)
+	if m.Trace != "" {
+		e.PutString(4, m.Trace)
+	}
 }
 
 func (m *migrateAck) UnmarshalTLV(d *asn1lite.Decoder) error {
@@ -82,6 +97,8 @@ func (m *migrateAck) UnmarshalTLV(d *asn1lite.Decoder) error {
 			m.Dest, err = d.String()
 		case 3:
 			m.UE, err = d.Uint()
+		case 4:
+			m.Trace, err = d.String()
 		}
 		if err != nil {
 			return err
@@ -115,6 +132,9 @@ type InstanceOptions struct {
 	MaxConcurrentMigrations int
 	// OwnerTTL is the ownership lease written on restore (default 10s).
 	OwnerTTL time.Duration
+	// HeartbeatPeriod is the fleet-plane liveness beacon cadence
+	// (default 500ms; negative disables heartbeats).
+	HeartbeatPeriod time.Duration
 }
 
 func (o *InstanceOptions) defaults() error {
@@ -139,6 +159,9 @@ func (o *InstanceOptions) defaults() error {
 	if o.OwnerTTL == 0 {
 		o.OwnerTTL = 10 * time.Second
 	}
+	if o.HeartbeatPeriod == 0 {
+		o.HeartbeatPeriod = 500 * time.Millisecond
+	}
 	return nil
 }
 
@@ -155,6 +178,16 @@ type Instance struct {
 	rt       *mobiwatch.Runtime
 	feeder   *Feeder
 	bus      *Client
+
+	// scoreReg is a private registry holding this instance's
+	// score-latency histogram: colocated instances share the process
+	// Default registry, so instance-attributed series for the fleet
+	// plane are built here instead (see ObsSnapshot).
+	scoreReg  *obs.Registry
+	scoreHist *obs.Histogram
+
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
 
 	mu       sync.Mutex
 	ring     *Ring
@@ -180,7 +213,12 @@ func StartInstance(opts InstanceOptions) (*Instance, error) {
 		store:    opts.Store,
 		inflight: make(map[uint64]*outMigration),
 		migSem:   make(chan struct{}, opts.MaxConcurrentMigrations),
+		scoreReg: obs.NewRegistry(),
+		hbStop:   make(chan struct{}),
 	}
+	i.scoreHist = i.scoreReg.HistogramVec("xsec_mobiwatch_score_seconds",
+		"Streaming-inference latency per telemetry batch (this instance only).",
+		obs.ExpBuckets(1e-6, 4, 12)).With()
 	i.platform = ric.NewPlatform(opts.Store)
 
 	feederEp, platEp := e2ap.Pipe()
@@ -219,6 +257,7 @@ func StartInstance(opts InstanceOptions) (*Instance, error) {
 		Shards:       opts.Shards,
 		ShardBuffer:  opts.ShardBuffer,
 		ReportPeriod: opts.ReportPeriod,
+		ScoreLatency: i.scoreHist,
 	})
 	if err != nil {
 		i.teardown()
@@ -238,10 +277,15 @@ func StartInstance(opts InstanceOptions) (*Instance, error) {
 		i.bus = NewClient(opts.ID, dial)
 		i.bus.Subscribe(TopicRing, i.onRing)
 		i.bus.Subscribe(TopicPolicy, i.onPolicy)
-		i.bus.Subscribe(TopicMigrate, i.onMigrate)
-		i.bus.Subscribe(TopicMigrateAck, i.onAck)
+		i.bus.SubscribeTraced(TopicMigrate, i.onMigrate)
+		i.bus.SubscribeTraced(TopicMigrateAck, i.onAck)
+		i.bus.Subscribe(fleet.TopicScrape, i.onScrape)
+		if opts.HeartbeatPeriod > 0 {
+			i.hbWG.Add(1)
+			go i.heartbeatLoop(opts.HeartbeatPeriod)
+		}
 	}
-	obs.RegisterHealth("fed/"+opts.ID, i.health)
+	obs.RegisterHealthDetail("fed/"+opts.ID, i.healthDetail)
 	return i, nil
 }
 
@@ -299,20 +343,28 @@ func (i *Instance) Owns(ue uint64) bool {
 	return i.ring.Owner(ue) == i.id
 }
 
-// health is the /healthz readiness check: a federated instance is ready
-// when it is running and its bus is reachable; degraded mode is
-// reported, not hidden.
-func (i *Instance) health() error {
+// healthDetail is the /healthz readiness check: a federated instance is
+// ready when it is running and its bus is reachable; degraded mode is
+// reported, not hidden. The detail string carries per-subsystem state
+// for the structured (JSON) health form.
+func (i *Instance) healthDetail() (string, error) {
 	i.mu.Lock()
 	stopped := i.stopped
+	epoch := 0
+	if i.ring != nil {
+		epoch = i.ring.Epoch
+	}
 	i.mu.Unlock()
+	detail := fmt.Sprintf("bus=%s epoch=%d ues=%d shards=%d",
+		map[bool]string{true: "connected", false: "disconnected"}[i.bus != nil && i.bus.Connected()],
+		epoch, len(i.rt.UEs()), i.store.ShardCount())
 	if stopped {
-		return fmt.Errorf("instance stopped")
+		return detail, fmt.Errorf("instance stopped")
 	}
 	if i.bus != nil && !i.bus.Connected() {
-		return fmt.Errorf("bus unreachable (degraded: standalone detection, no migration)")
+		return detail, fmt.Errorf("bus unreachable (degraded: standalone detection, no migration)")
 	}
-	return nil
+	return detail, nil
 }
 
 // onRing applies a published ring epoch and migrates out every UE this
@@ -382,10 +434,16 @@ func (i *Instance) MigrateUE(ue uint64, dest string) error {
 	obsMigrationsInflight.Add(1)
 	defer obsMigrationsInflight.Add(-1)
 
+	cpStart := time.Now()
 	snap, err := i.rt.CheckpointUE(ue)
 	if err != nil {
 		return fmt.Errorf("fed: checkpoint UE %d: %w", ue, err)
 	}
+	// The migration's trace context: the chain key of the UE's last
+	// scored indication here. Every hop of the hand-off records spans on
+	// it, and the destination keeps using it for the restore span.
+	trace := prov.ChainID{Node: snap.Node, SN: snap.LastSN}.String()
+	obs.RecordSpan(trace, "fed.checkpoint", cpStart, time.Now())
 	start := time.Now()
 	m := &outMigration{start: start, done: make(chan struct{})}
 	i.mu.Lock()
@@ -416,9 +474,9 @@ func (i *Instance) MigrateUE(ue uint64, dest string) error {
 
 	msg := migrateMsg{
 		Epoch: uint64(epoch), Source: i.id, Dest: dest, UE: ue,
-		Snapshot: mobiwatch.EncodeSnapshot(snap),
+		Snapshot: mobiwatch.EncodeSnapshot(snap), Trace: trace,
 	}
-	if err := i.bus.Publish(TopicMigrate, asn1lite.Marshal(&msg)); err != nil {
+	if err := i.bus.PublishTraced(TopicMigrate, asn1lite.Marshal(&msg), trace); err != nil {
 		i.clearInflight(ue)
 		obsMigrations.With(i.id, "failed").Inc()
 		return err
@@ -431,6 +489,7 @@ func (i *Instance) MigrateUE(ue uint64, dest string) error {
 		}
 		obsMigrations.With(i.id, "out").Inc()
 		obsMigrationSeconds.Observe(time.Since(start).Seconds())
+		obs.RecordSpan(trace, "fed.migrate", start, time.Now())
 		return nil
 	case <-time.After(i.opts.MigrationTimeout):
 		i.clearInflight(ue)
@@ -449,11 +508,12 @@ func (i *Instance) clearInflight(ue uint64) {
 // onMigrate restores a snapshot addressed to this instance and claims
 // the UE's ownership lease before acknowledging, so the restored window
 // state is in place before the first post-migration indication scores.
-func (i *Instance) onMigrate(_ uint64, payload []byte) {
+func (i *Instance) onMigrate(_ uint64, payload []byte, _ string) {
 	var msg migrateMsg
 	if err := asn1lite.Unmarshal(payload, &msg); err != nil || msg.Dest != i.id {
 		return
 	}
+	restoreStart := time.Now()
 	snap, err := mobiwatch.DecodeSnapshot(msg.Snapshot)
 	if err != nil {
 		obs.L().Warn("fed: bad snapshot", "instance", i.id, "ue", msg.UE, "err", err)
@@ -468,8 +528,11 @@ func (i *Instance) onMigrate(_ uint64, payload []byte) {
 	i.store.SetOwnedTTL(OwnerNamespace, ownerKey(i.id, msg.UE),
 		[]byte(i.id), i.opts.OwnerTTL)
 	obsMigrations.With(i.id, "in").Inc()
-	ack := migrateAck{Source: msg.Source, Dest: i.id, UE: msg.UE}
-	if err := i.bus.Publish(TopicMigrateAck, asn1lite.Marshal(&ack)); err != nil {
+	if msg.Trace != "" {
+		obs.RecordSpan(msg.Trace, "fed.restore", restoreStart, time.Now())
+	}
+	ack := migrateAck{Source: msg.Source, Dest: i.id, UE: msg.UE, Trace: msg.Trace}
+	if err := i.bus.PublishTraced(TopicMigrateAck, asn1lite.Marshal(&ack), msg.Trace); err != nil {
 		obs.L().Warn("fed: ack publish failed", "instance", i.id, "ue", msg.UE, "err", err)
 	}
 }
@@ -483,7 +546,7 @@ func (i *Instance) onMigrate(_ uint64, payload []byte) {
 // counted as scored; zero-loss accounting is unaffected). The ring
 // guard keeps a replayed ack — the bus redelivers on reconnect — from
 // forgetting a UE that has since migrated back.
-func (i *Instance) onAck(_ uint64, payload []byte) {
+func (i *Instance) onAck(_ uint64, payload []byte, _ string) {
 	var ack migrateAck
 	if err := asn1lite.Unmarshal(payload, &ack); err != nil || ack.Source != i.id {
 		return
@@ -528,6 +591,8 @@ func (i *Instance) Stop() {
 	}
 	i.stopped = true
 	i.mu.Unlock()
+	close(i.hbStop)
+	i.hbWG.Wait()
 	obs.UnregisterHealth("fed/" + i.id)
 	if i.bus != nil {
 		i.bus.Close()
@@ -535,4 +600,109 @@ func (i *Instance) Stop() {
 	i.rt.Stop()
 	i.feeder.Close()
 	i.platform.Close()
+}
+
+// heartbeatLoop publishes fleet liveness beacons until Stop. A beacon
+// that fails to publish (bus degraded) is simply skipped — the missing
+// heartbeats are exactly the signal the collector's failure detector
+// consumes.
+func (i *Instance) heartbeatLoop(period time.Duration) {
+	defer i.hbWG.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-i.hbStop:
+			return
+		case <-t.C:
+			seq++
+			hb := fleet.Heartbeat{
+				Instance:  i.id,
+				Node:      i.feeder.NodeID(),
+				Seq:       seq,
+				UnixNanos: time.Now().UnixNano(),
+				Epoch:     i.RingEpoch(),
+				UEs:       len(i.rt.UEs()),
+				Records:   i.Records(),
+			}
+			if payload, err := hb.Encode(); err == nil {
+				i.bus.Publish(fleet.TopicHeartbeat, payload)
+			}
+		}
+	}
+}
+
+// onScrape answers a fleet snapshot pull with this instance's metric
+// snapshot and retained trace spans.
+func (i *Instance) onScrape(_ uint64, payload []byte) {
+	req, err := fleet.ParseScrapeRequest(payload)
+	if err != nil {
+		return
+	}
+	rep := fleet.Report{
+		Instance:  i.id,
+		Node:      i.feeder.NodeID(),
+		Seq:       req.Seq,
+		UnixNanos: time.Now().UnixNano(),
+		Series:    i.ObsSnapshot(),
+		Spans:     i.fleetSpans(),
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		return
+	}
+	if err := i.bus.Publish(fleet.TopicReport, data); err != nil {
+		obs.L().Warn("fed: scrape report publish failed", "instance", i.id, "err", err)
+	}
+}
+
+// ObsSnapshot builds this instance's per-instance metric snapshot for
+// the fleet plane. Colocated instances share the process-global Default
+// registry, so the snapshot is assembled from instance-owned sources:
+// the runtime's counters, ring state, the instance-labeled migration
+// counters, and the private score-latency histogram.
+func (i *Instance) ObsSnapshot() []obs.SeriesSnapshot {
+	st := i.rt.Stats()
+	node := i.feeder.NodeID()
+	nodeLbl := func() map[string]string { return map[string]string{"node": node} }
+	out := []obs.SeriesSnapshot{
+		{Name: "xsec_mobiwatch_records_total", Kind: "counter", Labels: nodeLbl(),
+			Value: float64(st.RecordsSeen.Load())},
+		{Name: "xsec_mobiwatch_windows_scored_total", Kind: "counter", Labels: nodeLbl(),
+			Value: float64(st.WindowsScored.Load())},
+		{Name: "xsec_mobiwatch_alerts_total", Kind: "counter",
+			Labels: map[string]string{"node": node, "outcome": "raised"},
+			Value:  float64(st.AlertsRaised.Load())},
+		{Name: "xsec_mobiwatch_alerts_total", Kind: "counter",
+			Labels: map[string]string{"node": node, "outcome": "dropped"},
+			Value:  float64(st.AlertsDropped.Load())},
+		{Name: "xsec_fed_ues", Kind: "gauge", Value: float64(len(i.rt.UEs()))},
+		{Name: "xsec_fed_ring_epoch", Kind: "gauge", Value: float64(i.RingEpoch())},
+	}
+	for _, dir := range []string{"out", "in", "failed"} {
+		out = append(out, obs.SeriesSnapshot{
+			Name: "xsec_fed_migrations_total", Kind: "counter",
+			Labels: map[string]string{"direction": dir},
+			Value:  float64(obsMigrations.With(i.id, dir).Value()),
+		})
+	}
+	out = append(out, i.scoreReg.Snapshot()...)
+	return out
+}
+
+// fleetSpans returns this instance's retained pipeline spans: the
+// process tracer filtered to keys minted by this instance's node (all
+// chain keys are "node/sn", and restore spans adopt the source chain's
+// key, so span attribution follows the trace context, not the
+// process).
+func (i *Instance) fleetSpans() []obs.Span {
+	prefix := i.feeder.NodeID() + "/"
+	var out []obs.Span
+	for _, sp := range obs.DefaultTracer.Spans() {
+		if len(sp.Key) > len(prefix) && sp.Key[:len(prefix)] == prefix {
+			out = append(out, sp)
+		}
+	}
+	return out
 }

@@ -104,6 +104,12 @@ type RunOptions struct {
 	// scored when traffic is slow (default 2 ms — negligible against the
 	// 50 ms E2 report period).
 	BatchAge time.Duration
+	// ScoreLatency, when set, additionally receives every per-batch
+	// scoring latency observation. Colocated federated instances share
+	// the process-global histogram, so each instance passes its own
+	// private histogram here to report instance-attributed latency to
+	// the fleet collector.
+	ScoreLatency *obs.Histogram
 	// Clock is used for alert timestamps (default time.Now).
 	Clock func() time.Time
 }
@@ -319,7 +325,11 @@ func (w *worker) loop(c <-chan ric.Indication) {
 			rt.thMu.RLock()
 			w.ingest(ind, msg.Records)
 			rt.thMu.RUnlock()
-			obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
+			elapsed := time.Since(start).Nanoseconds()
+			obsScoreSeconds.ObserveSeconds(elapsed)
+			if rt.opts.ScoreLatency != nil {
+				rt.opts.ScoreLatency.ObserveSeconds(elapsed)
+			}
 			span.End()
 			rt.queueDepth.Set(float64(len(rt.alerts)))
 		case op := <-w.ctrl:
@@ -332,7 +342,11 @@ func (w *worker) loop(c <-chan ric.Indication) {
 			rt.thMu.RLock()
 			w.flushLocked(rt.opts.NodeID)
 			rt.thMu.RUnlock()
-			obsScoreSeconds.ObserveSeconds(time.Since(start).Nanoseconds())
+			elapsed := time.Since(start).Nanoseconds()
+			obsScoreSeconds.ObserveSeconds(elapsed)
+			if rt.opts.ScoreLatency != nil {
+				rt.opts.ScoreLatency.ObserveSeconds(elapsed)
+			}
 			rt.queueDepth.Set(float64(len(rt.alerts)))
 		}
 	}

@@ -1,0 +1,529 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
+	"github.com/6g-xsec/xsec/internal/sdl"
+)
+
+// CollectorOptions configure the SMO-side fleet collector.
+type CollectorOptions struct {
+	// SuspectAfter is how long without a heartbeat before an instance is
+	// marked suspect (default 2s). DeadAfter marks it dead — and triggers
+	// automatic ring eviction — after a further silence (default 5s total
+	// from the last heartbeat).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// ScrapePeriod is the cadence of snapshot pull rounds (default 2s).
+	// SweepPeriod is the failure-detector tick (default 250ms).
+	ScrapePeriod time.Duration
+	SweepPeriod  time.Duration
+
+	// Publish sends a payload on a federation bus topic — typically
+	// Broker-local. Required for scraping; heartbeats and reports arrive
+	// via OnHeartbeat/OnReport regardless.
+	Publish func(topic string, payload []byte) error
+	// Evict removes a dead instance from the federation ring. Called at
+	// most once per death; a rejoin re-arms it. Optional.
+	Evict func(instance string) error
+	// Store persists the health journal and feeds the trace stitcher
+	// (migration audits live in the same store). Optional.
+	Store *sdl.Store
+
+	// Objectives are the SLOs to evaluate (DefaultObjectives when nil).
+	Objectives []Objective
+	// BurnFastWindow/BurnSlowWindow are the multi-window burn-rate alert
+	// windows (defaults 30s and 3m — scaled for the testbed's compressed
+	// timebase; production deployments would use 5m/1h).
+	BurnFastWindow time.Duration
+	BurnSlowWindow time.Duration
+
+	// Clock injects time (tests). Defaults to time.Now.
+	Clock func() time.Time
+}
+
+func (o *CollectorOptions) fill() {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 2 * time.Second
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 5 * time.Second
+	}
+	if o.DeadAfter <= o.SuspectAfter {
+		o.DeadAfter = o.SuspectAfter * 2
+	}
+	if o.ScrapePeriod <= 0 {
+		o.ScrapePeriod = 2 * time.Second
+	}
+	if o.SweepPeriod <= 0 {
+		o.SweepPeriod = 250 * time.Millisecond
+	}
+	if o.Objectives == nil {
+		o.Objectives = DefaultObjectives()
+	}
+	if o.BurnFastWindow <= 0 {
+		o.BurnFastWindow = 30 * time.Second
+	}
+	if o.BurnSlowWindow <= 0 {
+		o.BurnSlowWindow = 3 * time.Minute
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+}
+
+// Collector is the fleet observability plane's SMO half: failure
+// detector, metrics federator, SLO engine, and trace stitcher.
+type Collector struct {
+	opts CollectorOptions
+
+	mu      sync.Mutex
+	health  map[string]*InstanceHealth
+	merges  map[string]*instanceMerge
+	reports map[string]Report // latest report per instance
+	rollups []obs.SeriesSnapshot
+	slos    []*sloState
+	// rate tracking for the fleet indication-rate gauge
+	lastRecords  map[string]uint64
+	lastRecordAt time.Time
+	indRate      float64
+	scrapeSeq    uint64
+	journalSeq   uint64
+	pending      map[uint64]*scrapeRound
+
+	stop chan struct{}
+	done sync.WaitGroup
+	once sync.Once
+}
+
+type scrapeRound struct {
+	started time.Time
+	want    map[string]bool
+	got     map[string]bool
+	doneCh  chan struct{}
+}
+
+// NewCollector builds a collector; call Start to run its loops, or
+// drive OnHeartbeat/Sweep/ScrapeOnce directly in tests.
+func NewCollector(opts CollectorOptions) *Collector {
+	opts.fill()
+	return &Collector{
+		opts:        opts,
+		health:      make(map[string]*InstanceHealth),
+		merges:      make(map[string]*instanceMerge),
+		reports:     make(map[string]Report),
+		lastRecords: make(map[string]uint64),
+		pending:     make(map[uint64]*scrapeRound),
+		stop:        make(chan struct{}),
+	}
+}
+
+// Start runs the sweep and scrape loops until Stop.
+func (c *Collector) Start() {
+	c.done.Add(2)
+	go func() {
+		defer c.done.Done()
+		t := time.NewTicker(c.opts.SweepPeriod)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Sweep(c.opts.Clock())
+			}
+		}
+	}()
+	go func() {
+		defer c.done.Done()
+		t := time.NewTicker(c.opts.ScrapePeriod)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.ScrapeOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loops. Safe to call more than once.
+func (c *Collector) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	c.done.Wait()
+}
+
+// OnHeartbeat ingests one instance heartbeat: refreshes the failure
+// detector and rejoins suspect/dead instances.
+func (c *Collector) OnHeartbeat(hb Heartbeat) {
+	now := c.opts.Clock()
+	obsHeartbeats.Inc()
+
+	c.mu.Lock()
+	h := c.health[hb.Instance]
+	if h == nil {
+		h = &InstanceHealth{Instance: hb.Instance, State: StateAlive, LastHeartbeat: now}
+		c.health[hb.Instance] = h
+		obsLogJoin(hb.Instance)
+	}
+	// Replayed heartbeats (the broker retains the topic) carry stale
+	// sequence numbers; only newer beacons refresh liveness.
+	if hb.Seq < h.HeartbeatSeq {
+		c.mu.Unlock()
+		return
+	}
+	var rejoined State
+	var wasDown bool
+	if h.State != StateAlive {
+		rejoined, wasDown = h.State, true
+	}
+	h.State = StateAlive
+	h.Node = hb.Node
+	h.LastHeartbeat = now
+	h.HeartbeatSeq = hb.Seq
+	h.Epoch = hb.Epoch
+	h.UEs = hb.UEs
+	h.Records = hb.Records
+	h.EvictedAt = time.Time{}
+	c.updateStateGaugesLocked()
+	c.mu.Unlock()
+
+	if wasDown {
+		c.journal(Transition{
+			Instance: hb.Instance, From: rejoined, To: StateAlive,
+			At: now, Reason: "heartbeat resumed",
+		})
+	}
+}
+
+// OnReport ingests one scrape report: relabels and reset-adjusts the
+// instance's series, recomputes rollups, feeds the SLO engine, and
+// completes any pending scrape round the report answers.
+func (c *Collector) OnReport(rep Report) {
+	now := c.opts.Clock()
+	obsReports.With(rep.Instance).Inc()
+
+	c.mu.Lock()
+	m := c.merges[rep.Instance]
+	if m == nil {
+		m = newInstanceMerge()
+		c.merges[rep.Instance] = m
+	}
+	relabeled := make([]obs.SeriesSnapshot, 0, len(rep.Series))
+	for _, s := range rep.Series {
+		relabeled = append(relabeled, relabel(rep.Instance, s))
+	}
+	m.absorb(relabeled)
+	c.reports[rep.Instance] = rep
+	c.recomputeLocked(now)
+
+	// Close out the scrape round once every live instance has answered.
+	if round := c.pending[rep.Seq]; round != nil {
+		round.got[rep.Instance] = true
+		doneAll := true
+		for id := range round.want {
+			if !round.got[id] {
+				doneAll = false
+				break
+			}
+		}
+		if doneAll {
+			obsScrapeSeconds.Observe(now.Sub(round.started).Seconds())
+			close(round.doneCh)
+			delete(c.pending, rep.Seq)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// recomputeLocked rebuilds rollups, the indication-rate gauge, and the
+// SLO sample rings. Caller holds c.mu.
+func (c *Collector) recomputeLocked(now time.Time) {
+	c.rollups = computeRollups(c.merges)
+
+	// Fleet indication rate from the merged records counter delta.
+	var total float64
+	for _, s := range c.rollups {
+		if s.Name == "xsec_fleet_records_total" {
+			total += s.Value
+		}
+	}
+	if !c.lastRecordAt.IsZero() {
+		dt := now.Sub(c.lastRecordAt).Seconds()
+		if prev, ok := c.lastRecords["_fleet"]; ok && dt > 0 && total >= float64(prev) {
+			c.indRate = (total - float64(prev)) / dt
+			obsIndRate.Set(c.indRate)
+		}
+	}
+	c.lastRecords["_fleet"] = uint64(total)
+	c.lastRecordAt = now
+
+	if c.slos == nil {
+		for _, obj := range c.opts.Objectives {
+			c.slos = append(c.slos, &sloState{obj: obj})
+		}
+	}
+	keep := 2 * c.opts.BurnSlowWindow
+	for _, st := range c.slos {
+		st.observe(now, c.rollups, keep)
+		fast := st.burnRate(now, c.opts.BurnFastWindow)
+		slow := st.burnRate(now, c.opts.BurnSlowWindow)
+		obsSLOBurn.With(st.obj.Name, "fast").Set(fast)
+		obsSLOBurn.With(st.obj.Name, "slow").Set(slow)
+		firing := 0.0
+		if fast > st.obj.burnThreshold() && slow > st.obj.burnThreshold() {
+			firing = 1
+		}
+		obsSLOFiring.With(st.obj.Name).Set(firing)
+	}
+}
+
+// Sweep advances the failure detector to now: alive instances whose
+// heartbeat deadline lapsed go suspect, suspects past the dead deadline
+// go dead (triggering eviction). Exposed for deterministic tests; the
+// Start loop calls it on every tick.
+func (c *Collector) Sweep(now time.Time) {
+	type evictee struct{ instance string }
+	var transitions []Transition
+	var evict []evictee
+
+	c.mu.Lock()
+	for id, h := range c.health {
+		silent := now.Sub(h.LastHeartbeat)
+		switch h.State {
+		case StateAlive:
+			if silent >= c.opts.SuspectAfter {
+				h.State = StateSuspect
+				transitions = append(transitions, Transition{
+					Instance: id, From: StateAlive, To: StateSuspect, At: now,
+					Reason: fmt.Sprintf("no heartbeat for %s", silent.Round(time.Millisecond)),
+				})
+			}
+		case StateSuspect:
+			if silent >= c.opts.DeadAfter {
+				h.State = StateDead
+				h.EvictedAt = now
+				transitions = append(transitions, Transition{
+					Instance: id, From: StateSuspect, To: StateDead, At: now,
+					Reason: fmt.Sprintf("no heartbeat for %s, evicting", silent.Round(time.Millisecond)),
+				})
+				evict = append(evict, evictee{instance: id})
+			}
+		}
+	}
+	if len(transitions) > 0 {
+		c.updateStateGaugesLocked()
+	}
+	c.mu.Unlock()
+
+	for _, tr := range transitions {
+		c.journal(tr)
+	}
+	for _, e := range evict {
+		obsEvictions.Inc()
+		if c.opts.Evict != nil {
+			if err := c.opts.Evict(e.instance); err != nil {
+				obs.L().Warn("fleet: evict failed", "instance", e.instance, "err", err)
+			}
+		}
+	}
+}
+
+// updateStateGaugesLocked refreshes xsec_fleet_instances. Caller holds
+// c.mu.
+func (c *Collector) updateStateGaugesLocked() {
+	counts := map[State]int{}
+	for _, h := range c.health {
+		counts[h.State]++
+	}
+	for st := StateAlive; st <= StateDead; st++ {
+		obsInstances.With(st.String()).Set(float64(counts[st]))
+	}
+}
+
+// journal persists a failure-detector transition to the SDL and the
+// provenance ledger, and bumps the transition metrics.
+func (c *Collector) journal(tr Transition) {
+	c.mu.Lock()
+	c.journalSeq++
+	tr.Seq = c.journalSeq
+	c.mu.Unlock()
+
+	obsTransitions.With(tr.To.String()).Inc()
+	obs.L().Info("fleet: state transition", "instance", tr.Instance,
+		"from", tr.From.String(), "to", tr.To.String(), "reason", tr.Reason)
+
+	if c.opts.Store != nil {
+		if raw, err := json.Marshal(tr); err == nil {
+			key := fmt.Sprintf("%08d/%s", tr.Seq, tr.Instance)
+			c.opts.Store.Set(JournalNamespace, key, raw)
+		}
+	}
+	prov.Record(prov.Event{
+		Chain:  prov.ChainID{Node: JournalNode, SN: tr.Seq},
+		Kind:   prov.KindFleet,
+		At:     tr.At,
+		Label:  tr.To.String(),
+		Target: tr.Instance,
+		Note:   tr.Reason,
+	})
+}
+
+// ScrapeOnce publishes one snapshot pull request and returns a channel
+// closed when every live instance has answered (nil when there is no
+// Publish hook or no live instance — nothing to wait for).
+func (c *Collector) ScrapeOnce() <-chan struct{} {
+	if c.opts.Publish == nil {
+		return nil
+	}
+	now := c.opts.Clock()
+
+	c.mu.Lock()
+	c.scrapeSeq++
+	seq := c.scrapeSeq
+	want := make(map[string]bool)
+	for id, h := range c.health {
+		if h.State != StateDead {
+			want[id] = true
+		}
+	}
+	var round *scrapeRound
+	if len(want) > 0 {
+		round = &scrapeRound{started: now, want: want, got: map[string]bool{}, doneCh: make(chan struct{})}
+		c.pending[seq] = round
+		// Drop stale rounds so a crashed instance can't leak them.
+		for s := range c.pending {
+			if s+4 < seq {
+				delete(c.pending, s)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	obsScrapes.Inc()
+	req := ScrapeRequest{Seq: seq, UnixNanos: now.UnixNano()}
+	payload, err := req.Encode()
+	if err == nil {
+		err = c.opts.Publish(TopicScrape, payload)
+	}
+	if err != nil {
+		obs.L().Warn("fleet: scrape publish failed", "seq", seq, "err", err)
+		return nil
+	}
+	if round == nil {
+		return nil
+	}
+	return round.doneCh
+}
+
+// Health returns every instance's failure-detector row, sorted by
+// instance ID.
+func (c *Collector) Health() []InstanceHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]InstanceHealth, 0, len(c.health))
+	for _, h := range c.health {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// Alive reports how many instances the detector currently holds alive.
+func (c *Collector) Alive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, h := range c.health {
+		if h.State == StateAlive {
+			n++
+		}
+	}
+	return n
+}
+
+// MergedSeries returns the federated snapshot: every instance's
+// reset-adjusted series under its "instance" label, followed by the
+// xsec_fleet_* rollups.
+func (c *Collector) MergedSeries() []obs.SeriesSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []obs.SeriesSnapshot
+	ids := make([]string, 0, len(c.merges))
+	for id := range c.merges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, c.merges[id].adjusted...)
+	}
+	out = append(out, c.rollups...)
+	return out
+}
+
+// SLO evaluates every objective now and returns their statuses.
+func (c *Collector) SLO() []SLOStatus {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SLOStatus, 0, len(c.slos))
+	for _, st := range c.slos {
+		ratio, good, total := st.sli()
+		s := SLOStatus{
+			Name:        st.obj.Name,
+			Description: st.obj.Description,
+			Target:      st.obj.Target,
+			SLI:         ratio,
+			Good:        good,
+			Total:       total,
+			BurnFast:    st.burnRate(now, c.opts.BurnFastWindow),
+			BurnSlow:    st.burnRate(now, c.opts.BurnSlowWindow),
+			FastWindow:  c.opts.BurnFastWindow,
+			SlowWindow:  c.opts.BurnSlowWindow,
+			Threshold:   st.obj.burnThreshold(),
+		}
+		s.Firing = s.BurnFast > s.Threshold && s.BurnSlow > s.Threshold
+		out = append(out, s)
+	}
+	return out
+}
+
+// Traces stitches cross-instance distributed traces from the prov
+// ledger's migration links plus every instance's reported spans.
+func (c *Collector) Traces() []StitchedTrace {
+	if c.opts.Store == nil {
+		return nil
+	}
+	c.mu.Lock()
+	reports := make(map[string]Report, len(c.reports))
+	for id, r := range c.reports {
+		reports[id] = r
+	}
+	health := make(map[string]*InstanceHealth, len(c.health))
+	for id, h := range c.health {
+		cp := *h
+		health[id] = &cp
+	}
+	c.mu.Unlock()
+	return Stitch(c.opts.Store, buildSpanIndex(reports), health)
+}
+
+// IndicationRate returns the last computed fleet-aggregate record rate.
+func (c *Collector) IndicationRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.indRate
+}
+
+// obsLogJoin notes the first sighting of an instance.
+func obsLogJoin(instance string) {
+	obs.L().Info("fleet: tracking instance", "instance", instance)
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"github.com/6g-xsec/xsec/internal/obs"
+)
+
+// Mount registers the collector's fleet endpoints on the shared
+// observability surface (obs.Handle), so the SMO process serves them
+// alongside /metrics and /healthz:
+//
+//	/fleet/metrics  merged text exposition: every instance's series
+//	                under its "instance" label plus xsec_fleet_* rollups
+//	/fleet/health   failure-detector state of every instance (JSON)
+//	/fleet/slo      objective evaluations with burn rates (JSON)
+//	/fleet/traces   stitched cross-instance distributed traces (JSON);
+//	                ?ue=<id> filters to one UE
+func (c *Collector) Mount() {
+	obs.Handle("/fleet/metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteSeries(w, c.MergedSeries())
+	}))
+	obs.Handle("/fleet/health", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Instances []InstanceHealth `json:"instances"`
+		}{Instances: c.Health()})
+	}))
+	obs.Handle("/fleet/slo", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		slos := c.SLO()
+		firing := 0
+		for _, s := range slos {
+			if s.Firing {
+				firing++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Firing     int         `json:"firing"`
+			Objectives []SLOStatus `json:"objectives"`
+		}{Firing: firing, Objectives: slos})
+	}))
+	obs.Handle("/fleet/traces", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traces := c.Traces()
+		if ue := r.URL.Query().Get("ue"); ue != "" {
+			var filtered []StitchedTrace
+			for _, t := range traces {
+				if strconv.FormatUint(t.UEID, 10) == ue {
+					filtered = append(filtered, t)
+				}
+			}
+			traces = filtered
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(traces)
+	}))
+}

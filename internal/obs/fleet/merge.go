@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/6g-xsec/xsec/internal/obs"
+)
+
+// This file is the metrics-federation half of the plane: per-instance
+// snapshots are relabeled under an "instance" label, counter resets
+// across instance restarts are absorbed so merged counters stay
+// monotonic, and fleet rollups are computed across the adjusted series.
+
+// ExportedInstanceLabel is where a pre-existing "instance" label on a
+// reported series is moved when the collector injects its own — the
+// same convention a Prometheus federation scrape uses for colliding
+// target labels.
+const ExportedInstanceLabel = "exported_instance"
+
+// relabel returns a copy of s with the instance label injected. A label
+// collision (the instance reported a series that already carries an
+// "instance" label, e.g. a re-exported downstream scrape) moves the
+// original value to ExportedInstanceLabel; the collector's own identity
+// always wins, so one misbehaving instance cannot impersonate another
+// in the merged view.
+func relabel(instance string, s obs.SeriesSnapshot) obs.SeriesSnapshot {
+	labels := make(map[string]string, len(s.Labels)+1)
+	for k, v := range s.Labels {
+		if k == "instance" {
+			labels[ExportedInstanceLabel] = v
+			continue
+		}
+		labels[k] = v
+	}
+	labels["instance"] = instance
+	s.Labels = labels
+	return s
+}
+
+// seriesKey identifies one series inside one instance's snapshot: the
+// family name plus its sorted label pairs (before relabeling).
+func seriesKey(s obs.SeriesSnapshot) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteByte('\xff')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+	}
+	return b.String()
+}
+
+// resetTrack absorbs counter resets for one series of one instance: an
+// instance that restarts re-reports its counters from zero, and a
+// merged counter must never go backwards. When the raw value drops, the
+// previous high-water mark folds into the base; the adjusted value is
+// base + raw. Histograms get the same treatment via their total count
+// (a count that went backwards means the whole histogram restarted, so
+// bucket counts and sum re-accumulate on top of the saved base).
+type resetTrack struct {
+	base    float64
+	lastRaw float64
+
+	countBase uint64
+	lastCount uint64
+	sumBase   float64
+	lastSum   float64
+	buckets   []uint64 // per-bucket bases, parallel to the snapshot
+}
+
+// adjust applies reset absorption to one reported series in place and
+// returns the adjusted copy.
+func (t *resetTrack) adjust(s obs.SeriesSnapshot) obs.SeriesSnapshot {
+	switch {
+	case len(s.Buckets) > 0:
+		if s.Count < t.lastCount {
+			// Restart: fold the dead incarnation's totals into the base
+			// (its final bucket counts were folded by noteHistogramReset).
+			t.countBase += t.lastCount
+			t.sumBase += t.lastSum
+		}
+		if t.buckets == nil {
+			t.buckets = make([]uint64, len(s.Buckets))
+		}
+		t.lastCount, t.lastSum = s.Count, s.Sum
+		adj := s
+		adj.Count = t.countBase + s.Count
+		adj.Sum = t.sumBase + s.Sum
+		adj.Buckets = append([]obs.BucketSnapshot(nil), s.Buckets...)
+		for i := range adj.Buckets {
+			if i < len(t.buckets) {
+				adj.Buckets[i].Count += t.buckets[i]
+			}
+		}
+		return adj
+	case s.Kind == "counter":
+		if s.Value < t.lastRaw {
+			t.base += t.lastRaw
+		}
+		t.lastRaw = s.Value
+		adj := s
+		adj.Value = t.base + s.Value
+		return adj
+	default:
+		return s
+	}
+}
+
+// noteHistogramReset records per-bucket high-water marks when a
+// histogram restart is detected, so adjusted bucket counts stay
+// cumulative across the restart.
+func (t *resetTrack) noteHistogramReset(prev []obs.BucketSnapshot) {
+	if t.buckets == nil {
+		t.buckets = make([]uint64, len(prev))
+	}
+	for i := range prev {
+		if i < len(t.buckets) {
+			t.buckets[i] += prev[i].Count
+		}
+	}
+}
+
+// instanceMerge is the per-instance merge state the collector keeps
+// between scrapes.
+type instanceMerge struct {
+	tracks map[string]*resetTrack
+	// prevBuckets remembers the last raw bucket counts per histogram
+	// series, needed to fold them into the base on restart detection.
+	prevBuckets map[string][]obs.BucketSnapshot
+	// adjusted is the last reset-adjusted snapshot.
+	adjusted []obs.SeriesSnapshot
+}
+
+func newInstanceMerge() *instanceMerge {
+	return &instanceMerge{
+		tracks:      make(map[string]*resetTrack),
+		prevBuckets: make(map[string][]obs.BucketSnapshot),
+	}
+}
+
+// absorb ingests one raw snapshot, applying reset adjustment.
+func (m *instanceMerge) absorb(series []obs.SeriesSnapshot) {
+	out := make([]obs.SeriesSnapshot, 0, len(series))
+	for _, s := range series {
+		key := seriesKey(s)
+		t := m.tracks[key]
+		if t == nil {
+			t = &resetTrack{}
+			m.tracks[key] = t
+		}
+		if len(s.Buckets) > 0 && s.Count < t.lastCount {
+			t.noteHistogramReset(m.prevBuckets[key])
+		}
+		adj := t.adjust(s)
+		if len(s.Buckets) > 0 {
+			m.prevBuckets[key] = append([]obs.BucketSnapshot(nil), s.Buckets...)
+		}
+		out = append(out, adj)
+	}
+	m.adjusted = out
+}
+
+// sumByName accumulates counter values across instances for rollups:
+// map of family name → label-signature → merged series.
+type rollupAcc struct {
+	series map[string]obs.SeriesSnapshot
+	order  []string
+}
+
+func newRollupAcc() *rollupAcc {
+	return &rollupAcc{series: make(map[string]obs.SeriesSnapshot)}
+}
+
+// add accumulates one adjusted per-instance series into the fleet
+// rollup under rollupName, keeping the given labels (typically a
+// subset, never "instance").
+func (a *rollupAcc) add(rollupName string, labels map[string]string, s obs.SeriesSnapshot) {
+	key := rollupName + "\xff" + labelsSig(labels)
+	cur, ok := a.series[key]
+	if !ok {
+		cur = obs.SeriesSnapshot{Name: rollupName, Kind: s.Kind, Labels: labels}
+		a.order = append(a.order, key)
+	}
+	cur.Value += s.Value
+	cur.Count += s.Count
+	cur.Sum += s.Sum
+	if len(s.Buckets) > 0 {
+		if cur.Buckets == nil {
+			cur.Buckets = make([]obs.BucketSnapshot, len(s.Buckets))
+			for i := range s.Buckets {
+				cur.Buckets[i].LE = s.Buckets[i].LE
+			}
+		}
+		if len(cur.Buckets) == len(s.Buckets) {
+			for i := range s.Buckets {
+				if cur.Buckets[i].LE == s.Buckets[i].LE {
+					cur.Buckets[i].Count += s.Buckets[i].Count
+				}
+			}
+		}
+	}
+	a.series[key] = cur
+}
+
+func (a *rollupAcc) list() []obs.SeriesSnapshot {
+	out := make([]obs.SeriesSnapshot, 0, len(a.order))
+	for _, key := range a.order {
+		out = append(out, a.series[key])
+	}
+	return out
+}
+
+func labelsSig(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte('\xff')
+	}
+	return b.String()
+}
+
+// rollupSource maps a per-instance family to its fleet rollup family.
+// Only families every instance reports are rolled up; everything else
+// still appears instance-labeled in the merged exposition.
+var rollupSource = map[string]string{
+	"xsec_mobiwatch_records_total":        "xsec_fleet_records_total",
+	"xsec_mobiwatch_windows_scored_total": "xsec_fleet_windows_scored_total",
+	"xsec_mobiwatch_alerts_total":         "xsec_fleet_alerts_total",
+	"xsec_fed_migrations_total":           "xsec_fleet_migrations_total",
+	"xsec_mobiwatch_score_seconds":        "xsec_fleet_detect_latency_seconds",
+}
+
+// computeRollups builds the xsec_fleet_* aggregate series from every
+// instance's adjusted snapshot.
+func computeRollups(perInstance map[string]*instanceMerge) []obs.SeriesSnapshot {
+	acc := newRollupAcc()
+	ids := make([]string, 0, len(perInstance))
+	for id := range perInstance {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, s := range perInstance[id].adjusted {
+			rollup, ok := rollupSource[s.Name]
+			if !ok {
+				continue
+			}
+			// Keep discriminating labels (outcome, direction) but never
+			// the per-instance ones.
+			var labels map[string]string
+			for k, v := range s.Labels {
+				if k == "instance" || k == "node" {
+					continue
+				}
+				if labels == nil {
+					labels = map[string]string{}
+				}
+				labels[k] = v
+			}
+			acc.add(rollup, labels, s)
+		}
+	}
+	out := acc.list()
+
+	// Cross-instance latency quantiles from the merged histogram.
+	for _, s := range out {
+		if s.Name == "xsec_fleet_detect_latency_seconds" && len(s.Buckets) > 0 {
+			for _, q := range []struct {
+				q     float64
+				label string
+			}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}} {
+				out = append(out, obs.SeriesSnapshot{
+					Name:   "xsec_fleet_detect_latency_quantile",
+					Kind:   "gauge",
+					Labels: map[string]string{"q": q.label},
+					Value:  obs.HistQuantile(s.Buckets, q.q),
+				})
+			}
+			obsDetectP99.Set(obs.HistQuantile(s.Buckets, 0.99))
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/obs"
+)
+
+func TestRelabelInjectsInstance(t *testing.T) {
+	s := relabel("ric-1", obs.SeriesSnapshot{
+		Name: "xsec_mobiwatch_records_total", Kind: "counter",
+		Labels: map[string]string{"node": "gnb-ric-1"},
+	})
+	if s.Labels["instance"] != "ric-1" {
+		t.Fatalf("instance label = %q", s.Labels["instance"])
+	}
+	if s.Labels["node"] != "gnb-ric-1" {
+		t.Fatalf("node label lost: %v", s.Labels)
+	}
+}
+
+func TestRelabelCollisionMovesToExported(t *testing.T) {
+	// A misbehaving (or re-exporting) instance reports a series already
+	// carrying an "instance" label; the collector's identity must win and
+	// the original value move aside, so one instance cannot impersonate
+	// another in the merged view.
+	s := relabel("ric-0", obs.SeriesSnapshot{
+		Name: "up", Kind: "gauge",
+		Labels: map[string]string{"instance": "ric-7"},
+	})
+	if s.Labels["instance"] != "ric-0" {
+		t.Fatalf("collector identity lost: %v", s.Labels)
+	}
+	if s.Labels[ExportedInstanceLabel] != "ric-7" {
+		t.Fatalf("original instance label not preserved: %v", s.Labels)
+	}
+}
+
+func TestCounterResetAbsorption(t *testing.T) {
+	m := newInstanceMerge()
+	counter := func(v float64) []obs.SeriesSnapshot {
+		return []obs.SeriesSnapshot{{Name: "xsec_mobiwatch_records_total", Kind: "counter", Value: v}}
+	}
+
+	m.absorb(counter(10))
+	if got := m.adjusted[0].Value; got != 10 {
+		t.Fatalf("first absorb = %v", got)
+	}
+	m.absorb(counter(25))
+	if got := m.adjusted[0].Value; got != 25 {
+		t.Fatalf("monotonic growth = %v", got)
+	}
+
+	// Instance restart: the counter re-reports from near zero. The merged
+	// value must keep the old incarnation's high-water mark.
+	m.absorb(counter(4))
+	if got := m.adjusted[0].Value; got != 29 {
+		t.Fatalf("after reset = %v, want 25+4", got)
+	}
+	m.absorb(counter(6))
+	if got := m.adjusted[0].Value; got != 31 {
+		t.Fatalf("post-reset growth = %v, want 25+6", got)
+	}
+}
+
+func TestHistogramResetAbsorption(t *testing.T) {
+	m := newInstanceMerge()
+	hist := func(c1, c2 uint64, sum float64) []obs.SeriesSnapshot {
+		return []obs.SeriesSnapshot{{
+			Name: "xsec_mobiwatch_score_seconds", Kind: "histogram",
+			Count: c1 + c2, Sum: sum,
+			Buckets: []obs.BucketSnapshot{{LE: 0.01, Count: c1}, {LE: 0.1, Count: c1 + c2}},
+		}}
+	}
+
+	m.absorb(hist(8, 2, 0.5))
+	m.absorb(hist(1, 1, 0.05)) // restart: count went 10 -> 2
+
+	adj := m.adjusted[0]
+	if adj.Count != 12 {
+		t.Fatalf("adjusted count = %d, want 10+2", adj.Count)
+	}
+	if adj.Sum != 0.55 {
+		t.Fatalf("adjusted sum = %v, want 0.5+0.05", adj.Sum)
+	}
+	if adj.Buckets[0].Count != 9 || adj.Buckets[1].Count != 12 {
+		t.Fatalf("adjusted buckets = %+v", adj.Buckets)
+	}
+	if q := obs.HistQuantile(adj.Buckets, 0.5); q <= 0 || q > 0.1 {
+		t.Fatalf("median over merged buckets = %v", q)
+	}
+}
+
+func TestComputeRollupsSumsAcrossInstances(t *testing.T) {
+	perInstance := map[string]*instanceMerge{"ric-0": newInstanceMerge(), "ric-1": newInstanceMerge()}
+	perInstance["ric-0"].absorb([]obs.SeriesSnapshot{
+		{Name: "xsec_mobiwatch_records_total", Kind: "counter", Value: 100, Labels: map[string]string{"node": "gnb-ric-0"}},
+		{Name: "xsec_mobiwatch_alerts_total", Kind: "counter", Value: 7, Labels: map[string]string{"outcome": "raised", "node": "gnb-ric-0"}},
+		{Name: "xsec_fed_ues", Kind: "gauge", Value: 3}, // no rollup mapping: stays per-instance only
+	})
+	perInstance["ric-1"].absorb([]obs.SeriesSnapshot{
+		{Name: "xsec_mobiwatch_records_total", Kind: "counter", Value: 50, Labels: map[string]string{"node": "gnb-ric-1"}},
+		{Name: "xsec_mobiwatch_alerts_total", Kind: "counter", Value: 1, Labels: map[string]string{"outcome": "dropped", "node": "gnb-ric-1"}},
+	})
+
+	rollups := computeRollups(perInstance)
+	find := func(name, labelK, labelV string) *obs.SeriesSnapshot {
+		for i := range rollups {
+			s := &rollups[i]
+			if s.Name == name && (labelK == "" || s.Labels[labelK] == labelV) {
+				return s
+			}
+		}
+		return nil
+	}
+
+	if s := find("xsec_fleet_records_total", "", ""); s == nil || s.Value != 150 {
+		t.Fatalf("records rollup = %+v, want 150", s)
+	}
+	// Discriminating labels survive; per-instance labels (node) do not.
+	if s := find("xsec_fleet_alerts_total", "outcome", "raised"); s == nil || s.Value != 7 || s.Labels["node"] != "" {
+		t.Fatalf("raised alerts rollup = %+v", s)
+	}
+	if s := find("xsec_fleet_alerts_total", "outcome", "dropped"); s == nil || s.Value != 1 {
+		t.Fatalf("dropped alerts rollup = %+v", s)
+	}
+	if s := find("xsec_fleet_ues", "", ""); s != nil {
+		t.Fatalf("unmapped family rolled up: %+v", s)
+	}
+}
+
+func TestComputeRollupsLatencyQuantiles(t *testing.T) {
+	perInstance := map[string]*instanceMerge{"ric-0": newInstanceMerge()}
+	perInstance["ric-0"].absorb([]obs.SeriesSnapshot{{
+		Name: "xsec_mobiwatch_score_seconds", Kind: "histogram",
+		Count: 100, Sum: 1.0,
+		Buckets: []obs.BucketSnapshot{{LE: 0.001, Count: 90}, {LE: 0.1, Count: 100}},
+	}})
+	rollups := computeRollups(perInstance)
+	var sawHist, sawQuantile bool
+	for _, s := range rollups {
+		switch s.Name {
+		case "xsec_fleet_detect_latency_seconds":
+			sawHist = true
+		case "xsec_fleet_detect_latency_quantile":
+			sawQuantile = true
+			if s.Value <= 0 {
+				t.Fatalf("quantile q=%s is %v", s.Labels["q"], s.Value)
+			}
+		}
+	}
+	if !sawHist || !sawQuantile {
+		t.Fatalf("latency rollups missing (hist=%v quantile=%v): %+v", sawHist, sawQuantile, rollups)
+	}
+}

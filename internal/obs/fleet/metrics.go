@@ -1,0 +1,37 @@
+package fleet
+
+import "github.com/6g-xsec/xsec/internal/obs"
+
+// Fleet-plane observability. These series live in the collector's own
+// process registry (the SMO's /metrics), so an operator watching the
+// coordinator sees fleet state without scraping /fleet/metrics; the
+// merged exposition additionally carries them as rollups.
+var (
+	obsInstances = obs.NewGaugeVec("xsec_fleet_instances",
+		"Federated instances known to the collector, by failure-detector state.",
+		"state")
+	obsHeartbeats = obs.NewCounter("xsec_fleet_heartbeats_total",
+		"Instance heartbeats received by the collector.")
+	obsScrapes = obs.NewCounter("xsec_fleet_scrapes_total",
+		"Snapshot scrape rounds the collector has requested.")
+	obsReports = obs.NewCounterVec("xsec_fleet_reports_total",
+		"Snapshot reports received, by instance.", "instance")
+	obsTransitions = obs.NewCounterVec("xsec_fleet_transitions_total",
+		"Failure-detector state transitions, by new state (suspect, dead, alive).",
+		"to")
+	obsEvictions = obs.NewCounter("xsec_fleet_evictions_total",
+		"Dead instances automatically evicted from the ring.")
+	obsScrapeSeconds = obs.NewHistogram("xsec_fleet_scrape_seconds",
+		"Scrape round-trip: request published to all live reports merged.",
+		obs.ExpBuckets(0.0005, 2, 14))
+	obsIndRate = obs.NewGauge("xsec_fleet_ind_per_second",
+		"Aggregate fleet indication-record rate from the last two scrape rounds.")
+	obsDetectP99 = obs.NewGauge("xsec_fleet_detect_p99_seconds",
+		"p99 per-batch detection latency across all instances' merged histograms.")
+	obsSLOBurn = obs.NewGaugeVec("xsec_fleet_slo_burn_rate",
+		"SLO error-budget burn rate, by objective and window (fast, slow).",
+		"slo", "window")
+	obsSLOFiring = obs.NewGaugeVec("xsec_fleet_slo_firing",
+		"1 while the objective's multi-window burn-rate alert is firing.",
+		"slo")
+)

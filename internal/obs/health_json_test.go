@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthzJSONFormat(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Default, DefaultTracer))
+	defer srv.Close()
+
+	RegisterHealthDetail("jsontest/bus", func() (string, error) { return "epoch=3 ues=12", nil })
+	RegisterHealthDetail("jsontest/ring", func() (string, error) {
+		return "stale", errors.New("epoch behind coordinator")
+	})
+	defer UnregisterHealth("jsontest/bus")
+	defer UnregisterHealth("jsontest/ring")
+
+	// ?format=json returns the structured per-subsystem view; a failing
+	// check still flips the status code.
+	resp, err := srv.Client().Get(srv.URL + "/healthz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("degraded JSON probe: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var top struct {
+		Status string         `json:"status"`
+		Checks []HealthStatus `json:"checks"`
+	}
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatalf("healthz JSON %q: %v", body, err)
+	}
+	if top.Status != "degraded" {
+		t.Fatalf("status = %q", top.Status)
+	}
+	byName := map[string]HealthStatus{}
+	for _, st := range top.Checks {
+		byName[st.Name] = st
+	}
+	if st := byName["jsontest/bus"]; !st.OK || st.Detail != "epoch=3 ues=12" {
+		t.Fatalf("bus check = %+v", st)
+	}
+	if st := byName["jsontest/ring"]; st.OK || st.Err != "epoch behind coordinator" || st.Detail != "stale" {
+		t.Fatalf("ring check = %+v", st)
+	}
+
+	// The plain-text contract is untouched: one "name: error" line per
+	// failure on 503.
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || string(body) != "jsontest/ring: epoch behind coordinator\n" {
+		t.Fatalf("plain probe: %d %q", resp.StatusCode, body)
+	}
+
+	// The Accept header selects JSON too.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Accept negotiation Content-Type = %q", ct)
+	}
+
+	// Once healthy, JSON reports ok and plain text returns "ok\n".
+	RegisterHealthDetail("jsontest/ring", func() (string, error) { return "synced", nil })
+	resp, err = srv.Client().Get(srv.URL + "/healthz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthy JSON probe: HTTP %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &top); err != nil || top.Status != "ok" {
+		t.Fatalf("healthy JSON = %q (%v)", body, err)
+	}
+}

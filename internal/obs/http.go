@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -15,7 +16,7 @@ var (
 	extHandlers map[string]http.Handler
 
 	healthMu     sync.Mutex
-	healthChecks map[string]func() error
+	healthChecks map[string]func() (string, error)
 )
 
 // RegisterHealth adds a named readiness check to /healthz. The probe
@@ -24,10 +25,18 @@ var (
 // orchestrator steering traffic across federated instances sees exactly
 // which dependency is degraded. Re-registering a name replaces it.
 func RegisterHealth(name string, check func() error) {
+	RegisterHealthDetail(name, func() (string, error) { return "", check() })
+}
+
+// RegisterHealthDetail adds a readiness check that also reports
+// per-subsystem detail (e.g. "bus=connected epoch=3 shards=16"). The
+// plain-text /healthz contract is unchanged — detail appears only in
+// the JSON form (?format=json or an Accept: application/json request).
+func RegisterHealthDetail(name string, check func() (detail string, err error)) {
 	healthMu.Lock()
 	defer healthMu.Unlock()
 	if healthChecks == nil {
-		healthChecks = make(map[string]func() error)
+		healthChecks = make(map[string]func() (string, error))
 	}
 	healthChecks[name] = check
 }
@@ -40,29 +49,72 @@ func UnregisterHealth(name string) {
 	delete(healthChecks, name)
 }
 
-func serveHealthz(w http.ResponseWriter, _ *http.Request) {
+// HealthStatus is one subsystem's state in the structured /healthz
+// response.
+type HealthStatus struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// HealthSnapshot evaluates every registered check, sorted by name.
+func HealthSnapshot() []HealthStatus {
 	healthMu.Lock()
 	names := make([]string, 0, len(healthChecks))
 	for n := range healthChecks {
 		names = append(names, n)
 	}
-	checks := make([]func() error, 0, len(names))
 	sort.Strings(names)
+	checks := make([]func() (string, error), 0, len(names))
 	for _, n := range names {
 		checks = append(checks, healthChecks[n])
 	}
 	healthMu.Unlock()
 
-	var failures []string
+	out := make([]HealthStatus, 0, len(names))
 	for i, check := range checks {
-		if err := check(); err != nil {
-			failures = append(failures, fmt.Sprintf("%s: %v\n", names[i], err))
+		detail, err := check()
+		st := HealthStatus{Name: names[i], OK: err == nil, Detail: detail}
+		if err != nil {
+			st.Err = err.Error()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func serveHealthz(w http.ResponseWriter, r *http.Request) {
+	statuses := HealthSnapshot()
+	ok := true
+	for _, st := range statuses {
+		if !st.OK {
+			ok = false
 		}
 	}
-	if len(failures) > 0 {
+
+	wantJSON := r != nil && (r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json"))
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Status string         `json:"status"`
+			Checks []HealthStatus `json:"checks"`
+		}{Status: map[bool]string{true: "ok", false: "degraded"}[ok], Checks: statuses})
+		return
+	}
+
+	// Plain-text contract, unchanged since PR 2: "ok\n" on 200, one
+	// "name: error" line per failure on 503.
+	if !ok {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		for _, line := range failures {
-			fmt.Fprint(w, line)
+		for _, st := range statuses {
+			if !st.OK {
+				fmt.Fprintf(w, "%s: %s\n", st.Name, st.Err)
+			}
 		}
 		return
 	}
