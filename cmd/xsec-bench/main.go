@@ -19,6 +19,8 @@
 //	xsec-bench -fed -smoke          # reduced federation workload (CI path check)
 //	xsec-bench -fleet               # fleet observability baseline → BENCH_fleet.json
 //	xsec-bench -fleet -smoke        # reduced fleet drill (CI path check)
+//	xsec-bench -llm                 # LLM serving-layer baseline → BENCH_llm.json
+//	xsec-bench -llm -smoke          # reduced LLM workload (CI path check)
 //
 // -log-level (default $XSEC_LOG_LEVEL, else info) tunes structured log
 // verbosity; -metrics-addr serves /metrics, /healthz, and the /fleet/*
@@ -49,6 +51,7 @@ func main() {
 		ingestBench = flag.Bool("ingest", false, "measure the telemetry ingest path, scaled vs unsharded baseline")
 		fedBench    = flag.Bool("fed", false, "measure federated multi-RIC throughput vs a single instance")
 		fleetBench  = flag.Bool("fleet", false, "measure the fleet observability plane: scrapes, trace stitching, failure detection")
+		llmBench    = flag.Bool("llm", false, "measure the LLM serving layer: cache, coalescing, hedging, saturation fallback")
 		smoke       = flag.Bool("smoke", false, "shrink the -ingest/-nn workload so CI exercises the path quickly")
 		outPath     = flag.String("out", "", "baseline output path (default BENCH_<name>.json)")
 		logLevel    = flag.String("log-level", envDefault("XSEC_LOG_LEVEL", "info"), "log verbosity: debug | info | warn | error")
@@ -164,6 +167,20 @@ func main() {
 		out := *outPath
 		if out == "" {
 			out = "BENCH_fleet.json"
+		}
+		data, err := res.JSON()
+		writeBaseline(res.Format(), data, err, out)
+		return
+	}
+	if *llmBench {
+		res, err := bench.RunLLMBench(bench.LLMOptions{Seed: *seed, Smoke: *smoke})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xsec-bench:", err)
+			os.Exit(1)
+		}
+		out := *outPath
+		if out == "" {
+			out = "BENCH_llm.json"
 		}
 		data, err := res.JSON()
 		writeBaseline(res.Format(), data, err, out)

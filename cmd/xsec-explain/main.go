@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -71,7 +72,7 @@ func run(csvIn, demo, model, endpoint string, raw, rag bool, seed int64) error {
 
 	client := llm.NewClient(base, model)
 	client.RAG = rag
-	analysis, err := client.AnalyzeWindow(window)
+	analysis, err := client.AnalyzeWindow(context.Background(), window)
 	if err != nil {
 		return err
 	}

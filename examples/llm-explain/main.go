@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 		fmt.Printf("%-28s", kind)
 		for _, m := range llm.DefaultModels {
 			client := llm.NewClient("http://"+addr, m.Name)
-			analysis, err := client.AnalyzeWindow(window)
+			analysis, err := client.AnalyzeWindow(context.Background(), window)
 			mark := "?"
 			if err == nil {
 				switch {
@@ -76,7 +77,7 @@ func main() {
 	// One analysis in full, the Figure 5 view.
 	fmt.Println("\n=== full analysis: chatgpt-4o on BTS DoS ===")
 	client := llm.NewClient("http://"+addr, "chatgpt-4o")
-	analysis, err := client.AnalyzeWindow(windowOf(labeled, ue.AttackBTSDoS))
+	analysis, err := client.AnalyzeWindow(context.Background(), windowOf(labeled, ue.AttackBTSDoS))
 	if err != nil {
 		log.Fatal(err)
 	}

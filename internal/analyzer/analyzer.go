@@ -9,8 +9,11 @@
 package analyzer
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,17 +62,29 @@ type Case struct {
 	ProcessedAt time.Time
 }
 
-// Stats counts analyzer activity.
+// Stats counts analyzer activity. Cached counts verdicts the serving
+// layer answered without a fresh upstream round trip (cache hits and
+// coalesced followers); Degraded counts rule-based fallback verdicts
+// served while the expert endpoint was saturated.
 type Stats struct {
 	Processed  atomic.Uint64
 	Agreements atomic.Uint64
 	Disagrees  atomic.Uint64
 	Failures   atomic.Uint64
+	Cached     atomic.Uint64
+	Degraded   atomic.Uint64
+}
+
+// Expert answers for a telemetry window. Both the bare llm.Client and
+// the llm.Service serving layer (cache / coalesce / hedge / shed)
+// satisfy it; the analyzer does not care which is behind it.
+type Expert interface {
+	AnalyzeWindow(ctx context.Context, window mobiflow.Trace) (*llm.Analysis, error)
 }
 
 // Analyzer is the xApp.
 type Analyzer struct {
-	client *llm.Client
+	client Expert
 	store  *sdl.Store
 	clock  func() time.Time
 	stats  Stats
@@ -77,15 +92,17 @@ type Analyzer struct {
 
 // New builds an analyzer querying client and persisting its human-review
 // queue in store (may be nil to skip persistence).
-func New(client *llm.Client, store *sdl.Store) *Analyzer {
+func New(client Expert, store *sdl.Store) *Analyzer {
 	return &Analyzer{client: client, store: store, clock: time.Now}
 }
 
 // Stats returns live counters.
 func (a *Analyzer) Stats() *Stats { return &a.stats }
 
-// Process runs expert referencing for one alert.
-func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
+// Process runs expert referencing for one alert. The context bounds the
+// expert query: cancellation (analyzer shutdown, per-case timeout)
+// aborts the in-flight REST call.
+func (a *Analyzer) Process(ctx context.Context, alert mobiwatch.Alert) (*Case, error) {
 	chainKey := obs.IndicationKey(alert.NodeID, alert.IndicationSN)
 	span := obs.StartSpan(chainKey, "analyzer.process")
 	defer span.End()
@@ -103,7 +120,7 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 	if len(window) == 0 {
 		window = alert.Window
 	}
-	analysis, err := a.client.AnalyzeWindow(window)
+	analysis, err := a.client.AnalyzeWindow(ctx, window)
 	a.stats.Processed.Add(1)
 	if err != nil {
 		// The LLM is unreachable or hallucinated an unparseable answer:
@@ -134,6 +151,18 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 		Action: analysis.TopClass().String(),
 		Score:  analysis.Confidence,
 	}
+	// Non-live serving sources are part of the evidence: an auditor
+	// reading the chain must be able to tell a fresh expert opinion from
+	// a cache replay or a degraded rule-based fallback.
+	var notes []string
+	switch analysis.Served {
+	case llm.ServedCache, llm.ServedCoalesced:
+		a.stats.Cached.Add(1)
+		notes = append(notes, "served="+analysis.Served)
+	case llm.ServedDegraded:
+		a.stats.Degraded.Add(1)
+		notes = append(notes, "served="+analysis.Served)
+	}
 	if c.Agree {
 		a.stats.Agreements.Add(1)
 		obsCaseAgree.Inc()
@@ -145,24 +174,85 @@ func (a *Analyzer) Process(alert mobiwatch.Alert) (*Case, error) {
 		obsCaseDisagree.Inc()
 		c.NeedsHuman = true
 		a.enqueueHuman(c, "detector/LLM disagreement")
-		ev.Note = "detector/LLM disagreement: escalated to human review"
+		notes = append(notes, "detector/LLM disagreement: escalated to human review")
 	}
+	ev.Note = strings.Join(notes, "; ")
 	prov.Record(ev)
 	return c, nil
 }
 
-// Run consumes alerts until the channel closes, emitting processed cases.
-func (a *Analyzer) Run(alerts <-chan mobiwatch.Alert) <-chan *Case {
-	out := make(chan *Case, 16)
-	go func() {
-		defer close(out)
-		for alert := range alerts {
-			c, err := a.Process(alert)
-			if err != nil {
-				continue
+// PoolOptions tunes RunPool. The zero value means defaults.
+type PoolOptions struct {
+	// Workers is the pool size (default 4). One worker reproduces the
+	// original strictly-serial behavior.
+	Workers int
+	// CaseTimeout bounds one alert's expert query (default 15 s). The
+	// serving layer degrades a timed-out case to a rule-based verdict, so
+	// a stuck endpoint cannot stall the loop.
+	CaseTimeout time.Duration
+	// Buffer sizes the output channel (default 16).
+	Buffer int
+}
+
+func (o *PoolOptions) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CaseTimeout <= 0 {
+		o.CaseTimeout = 15 * time.Second
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 16
+	}
+}
+
+// Run consumes alerts serially until the channel closes, emitting
+// processed cases. Equivalent to RunPool with one worker.
+func (a *Analyzer) Run(ctx context.Context, alerts <-chan mobiwatch.Alert) <-chan *Case {
+	return a.RunPool(ctx, alerts, PoolOptions{Workers: 1})
+}
+
+// RunPool consumes alerts with a bounded worker pool until the channel
+// closes or ctx is canceled, emitting processed cases (order follows
+// completion, not arrival). Each case runs under its own deadline
+// derived from ctx, so analyzer shutdown cancels in-flight REST calls.
+func (a *Analyzer) RunPool(ctx context.Context, alerts <-chan mobiwatch.Alert, opts PoolOptions) <-chan *Case {
+	opts.defaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan *Case, opts.Buffer)
+	var wg sync.WaitGroup
+	wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case alert, ok := <-alerts:
+					if !ok {
+						return
+					}
+					cctx, cancel := context.WithTimeout(ctx, opts.CaseTimeout)
+					c, err := a.Process(cctx, alert)
+					cancel()
+					if err != nil {
+						continue
+					}
+					select {
+					case out <- c:
+					case <-ctx.Done():
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
 			}
-			out <- c
-		}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
 	}()
 	return out
 }

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -60,7 +61,7 @@ func TestProcessAgreement(t *testing.T) {
 		NodeID: "gnb-001", Model: mobiwatch.ModelAE, Score: 0.5, Threshold: 0.1,
 		Window: windowOf(l, ue.AttackBTSDoS), At: time.Now(),
 	}
-	c, err := a.Process(alert)
+	c, err := a.Process(context.Background(), alert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestProcessDisagreementGoesToHumans(t *testing.T) {
 		Model: mobiwatch.ModelAE, Score: 0.5, Threshold: 0.1,
 		Window: windowOf(l, ue.AttackBTSDoS), At: time.Now(),
 	}
-	c, err := a.Process(alert)
+	c, err := a.Process(context.Background(), alert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestProcessLLMFailure(t *testing.T) {
 	alert := mobiwatch.Alert{
 		Model: mobiwatch.ModelAE, Window: windowOf(l, ue.AttackBTSDoS), At: time.Now(),
 	}
-	c, err := a.Process(alert)
+	c, err := a.Process(context.Background(), alert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRunChannelPipeline(t *testing.T) {
 	close(alerts)
 
 	var cases []*Case
-	for c := range a.Run(alerts) {
+	for c := range a.Run(context.Background(), alerts) {
 		cases = append(cases, c)
 	}
 	if len(cases) != 2 {

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func TestObsDetectLatency(t *testing.T) {
 		ReceivedAt:   time.Now().Add(-25 * time.Millisecond),
 		IndicationSN: 7,
 	}
-	if _, err := a.Process(alert); err != nil {
+	if _, err := a.Process(context.Background(), alert); err != nil {
 		t.Fatal(err)
 	}
 	if got := obsDetectLat.Count(); got != before+1 {
@@ -75,7 +76,7 @@ func TestObsDetectLatencySkippedWithoutReceivedAt(t *testing.T) {
 		// ReceivedAt deliberately zero: replayed or synthetic alerts must
 		// not pollute the latency distribution.
 	}
-	if _, err := a.Process(alert); err != nil {
+	if _, err := a.Process(context.Background(), alert); err != nil {
 		t.Fatal(err)
 	}
 	if got := obsDetectLat.Count(); got != before {

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ func TestRAGTurnsDisagreementIntoAgreement(t *testing.T) {
 
 	// Zero-shot: disagreement.
 	zero := New(llm.NewClient(base, "chatgpt-4o"), sdl.New())
-	c0, err := zero.Process(alert)
+	c0, err := zero.Process(context.Background(), alert)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestRAGTurnsDisagreementIntoAgreement(t *testing.T) {
 	client := llm.NewClient(base, "chatgpt-4o")
 	client.RAG = true
 	rag := New(client, sdl.New())
-	c1, err := rag.Process(alert)
+	c1, err := rag.Process(context.Background(), alert)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -71,7 +72,7 @@ func runTable3(cfg Config, rag bool) (*Table3Result, error) {
 		for _, m := range llm.DefaultModels {
 			client := llm.NewClient("http://"+addr, m.Name)
 			client.RAG = rag
-			analysis, err := client.AnalyzeWindow(window)
+			analysis, err := client.AnalyzeWindow(context.Background(), window)
 			if err != nil {
 				return fmt.Errorf("bench: %s on %s: %w", m.Name, traceName, err)
 			}

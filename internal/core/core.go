@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,14 @@ type Options struct {
 	// LLMRAG enables retrieval-augmented prompting for the analyzer
 	// (3GPP passages appended per window; §5 of the paper).
 	LLMRAG bool
+	// LLMWorkers sizes the analyzer worker pool (default 4). One worker
+	// reproduces the original strictly-serial analyzer.
+	LLMWorkers int
+	// LLMServing tunes the serving layer between the analyzer and the
+	// expert endpoint: verdict cache, request coalescing, hedged
+	// retries, and the saturation governor. Zero value means defaults;
+	// the governor journal always lands in the framework SDL.
+	LLMServing llm.ServingOptions
 	// AutoRespond applies recommended E2 control actions automatically
 	// (the closed loop); otherwise cases only surface recommendations.
 	// Ignored when Mitigate deploys the governed engine.
@@ -115,12 +124,14 @@ type Framework struct {
 	// Models is the deployed MobiWatch bundle (after Train/Deploy).
 	Models *mobiwatch.Models
 
-	watch     *mobiwatch.Runtime
-	anlz      *analyzer.Analyzer
-	mitigator *mitigate.Engine
-	xappWatch *ric.XApp
-	xappAnlz  *ric.XApp
-	xappMit   *ric.XApp
+	watch      *mobiwatch.Runtime
+	anlz       *analyzer.Analyzer
+	llmServing *llm.Service
+	pumpCancel context.CancelFunc
+	mitigator  *mitigate.Engine
+	xappWatch  *ric.XApp
+	xappAnlz   *ric.XApp
+	xappMit    *ric.XApp
 
 	llmAddr     string
 	llmShutdown func() error
@@ -307,7 +318,11 @@ func (f *Framework) DeployXApps() error {
 	}
 	client := llm.NewClient(f.llmAddr, f.Opts.LLMModel)
 	client.RAG = f.Opts.LLMRAG
-	f.anlz = analyzer.New(client, f.SDL)
+	serving := f.Opts.LLMServing
+	serving.Store = f.SDL // governor journal always lands in the SDL
+	f.llmServing = llm.NewService(client, serving)
+	f.llmServing.RegisterHealth("llm-serving")
+	f.anlz = analyzer.New(f.llmServing, f.SDL)
 
 	if f.Opts.Mitigate != "" {
 		mode, err := mitigate.ParseMode(f.Opts.Mitigate)
@@ -326,7 +341,9 @@ func (f *Framework) DeployXApps() error {
 			TTL:    f.Opts.MitigateTTL,
 		})
 	}
-	go f.pump()
+	pumpCtx, cancel := context.WithCancel(context.Background())
+	f.pumpCancel = cancel
+	go f.pump(pumpCtx)
 
 	// A1 policy feed: operator threshold changes apply to the running
 	// detector without redeployment.
@@ -365,21 +382,33 @@ func (f *Framework) ApplyPolicy(policy smo.Policy) {
 // Watch exposes the MobiWatch runtime (nil before DeployXApps).
 func (f *Framework) Watch() *mobiwatch.Runtime { return f.watch }
 
-// pump processes alerts into cases, deduplicating overlapping windows so
-// one incident yields one LLM round trip.
-func (f *Framework) pump() {
+// pump processes alerts into cases: a serial dedup stage drops windows
+// overlapping an already-analyzed incident (one incident, one LLM round
+// trip), then a bounded analyzer worker pool runs expert referencing
+// concurrently. ctx cancellation (framework shutdown) aborts in-flight
+// REST calls.
+func (f *Framework) pump(ctx context.Context) {
 	defer close(f.cases)
-	var lastSeq uint64
-	for alert := range f.watch.Alerts() {
-		windowEnd := alert.Window[len(alert.Window)-1].Seq
-		if windowEnd <= lastSeq {
-			continue // overlaps an already-analyzed incident
+	// Dedup must stay serial — lastSeq ordering only exists before the
+	// pool fans out.
+	deduped := make(chan mobiwatch.Alert, f.Opts.CaseBuffer)
+	go func() {
+		defer close(deduped)
+		var lastSeq uint64
+		for alert := range f.watch.Alerts() {
+			windowEnd := alert.Window[len(alert.Window)-1].Seq
+			if windowEnd <= lastSeq {
+				continue // overlaps an already-analyzed incident
+			}
+			lastSeq = windowEnd
+			select {
+			case deduped <- alert:
+			case <-ctx.Done():
+				return
+			}
 		}
-		lastSeq = windowEnd
-		c, err := f.anlz.Process(alert)
-		if err != nil {
-			continue
-		}
+	}()
+	for c := range f.anlz.RunPool(ctx, deduped, analyzer.PoolOptions{Workers: f.Opts.LLMWorkers}) {
 		if c.Control != nil {
 			switch {
 			case f.mitigator != nil:
@@ -432,6 +461,10 @@ func (f *Framework) AnalyzerStats() *analyzer.Stats {
 // Analyzer exposes the analyzer xApp (nil before deploy).
 func (f *Framework) Analyzer() *analyzer.Analyzer { return f.anlz }
 
+// LLMServing exposes the serving layer between the analyzer and the
+// expert endpoint (nil before deploy).
+func (f *Framework) LLMServing() *llm.Service { return f.llmServing }
+
 // Mitigator exposes the mitigation engine (nil unless Options.Mitigate
 // deployed it).
 func (f *Framework) Mitigator() *mitigate.Engine { return f.mitigator }
@@ -450,6 +483,14 @@ func (f *Framework) Close() {
 	}
 	if f.watch != nil {
 		f.watch.Stop()
+	}
+	if f.pumpCancel != nil {
+		// Analyzer shutdown: aborts in-flight expert REST calls (the
+		// serving layer degrades any straggler to a rule-based verdict).
+		f.pumpCancel()
+	}
+	if f.llmServing != nil {
+		f.llmServing.Close()
 	}
 	f.RIC.Close()
 	if f.llmShutdown != nil {

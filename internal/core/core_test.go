@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -167,7 +168,7 @@ func TestFrameworkSMOWorkflowVisible(t *testing.T) {
 	}
 	// The expert endpoint is live and hosts five models.
 	client := llm.NewClient(fw.LLMBaseURL(), "gemini")
-	models, err := client.Models()
+	models, err := client.Models(context.Background())
 	if err != nil || len(models) != 5 {
 		t.Errorf("models = %v err=%v", models, err)
 	}

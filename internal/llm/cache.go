@@ -1,0 +1,122 @@
+package llm
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/mobiflow"
+	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/prov"
+)
+
+// Verdict-cache observability. Entries is sampled at scrape time from
+// the most recently constructed Service (last writer wins, the obs
+// GaugeFunc contract).
+var (
+	obsCacheHits = obs.NewCounter("xsec_llm_cache_hits_total",
+		"Analyses served from the verdict cache without an upstream round trip.")
+	obsCacheMisses = obs.NewCounter("xsec_llm_cache_misses_total",
+		"Analyses that missed the verdict cache.")
+	obsCacheEvictions = obs.NewCounterVec("xsec_llm_cache_evictions_total",
+		"Verdict-cache evictions, by reason.", "reason")
+	obsCacheEvictLRU = obsCacheEvictions.With("lru")
+	obsCacheEvictTTL = obsCacheEvictions.With("ttl")
+)
+
+// CacheKey identifies one logical expert question: the model asked plus
+// the exact rendered prompt. Mixing the model into the digest keeps two
+// personalities' answers to the same window from colliding — the same
+// prompt legitimately yields different verdicts per model (Table 3).
+func CacheKey(model, prompt string) prov.Digest {
+	return prov.NewDigest().Str(model).Str(prompt)
+}
+
+// WindowCacheKey is the cache key a client with this configuration
+// would use for the window — the prompt is rendered exactly as
+// AnalyzeWindow renders it, RAG augmentation included.
+func (c *Client) WindowCacheKey(window mobiflow.Trace) prov.Digest {
+	return CacheKey(c.Model, c.renderPrompt(window))
+}
+
+// cacheEntry is one cached verdict.
+type cacheEntry struct {
+	key      prov.Digest
+	analysis *Analysis
+	expires  time.Time // zero = no TTL
+}
+
+// verdictCache is a bounded LRU with per-entry TTL. Repeated windows
+// from the same attack pattern render byte-identical prompts, so their
+// digests collide on purpose and the REST round trip is skipped.
+type verdictCache struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	ll    *list.List // front = most recently used
+	items map[prov.Digest]*list.Element
+	clock func() time.Time
+}
+
+func newVerdictCache(max int, ttl time.Duration, clock func() time.Time) *verdictCache {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &verdictCache{
+		max: max, ttl: ttl, clock: clock,
+		ll: list.New(), items: make(map[prov.Digest]*list.Element),
+	}
+}
+
+// get returns the cached analysis, expiring it instead when its TTL
+// lapsed. The caller owns the returned pointer (it is a clone).
+func (vc *verdictCache) get(key prov.Digest) (*Analysis, bool) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	el, ok := vc.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && vc.clock().After(ent.expires) {
+		vc.ll.Remove(el)
+		delete(vc.items, key)
+		obsCacheEvictTTL.Inc()
+		return nil, false
+	}
+	vc.ll.MoveToFront(el)
+	return ent.analysis.clone(), true
+}
+
+// put stores a verdict, evicting the least recently used entry when the
+// bound is exceeded.
+func (vc *verdictCache) put(key prov.Digest, a *Analysis) {
+	if vc.max <= 0 {
+		return
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	ent := &cacheEntry{key: key, analysis: a.clone()}
+	if vc.ttl > 0 {
+		ent.expires = vc.clock().Add(vc.ttl)
+	}
+	if el, ok := vc.items[key]; ok {
+		el.Value = ent
+		vc.ll.MoveToFront(el)
+		return
+	}
+	vc.items[key] = vc.ll.PushFront(ent)
+	for vc.ll.Len() > vc.max {
+		back := vc.ll.Back()
+		vc.ll.Remove(back)
+		delete(vc.items, back.Value.(*cacheEntry).key)
+		obsCacheEvictLRU.Inc()
+	}
+}
+
+// len reports the live entry count.
+func (vc *verdictCache) len() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.ll.Len()
+}

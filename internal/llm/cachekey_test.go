@@ -1,0 +1,91 @@
+package llm
+
+import (
+	"context"
+	"testing"
+
+	"github.com/6g-xsec/xsec/internal/prov"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// TestCacheKeyStability pins the cache-key contract the serving layer
+// depends on: identical windows must digest identically (that is the
+// whole cache), across every model personality and with RAG on or off —
+// while divergent windows, divergent models, and divergent RAG settings
+// must not collide.
+func TestCacheKeyStability(t *testing.T) {
+	l := mixed(t)
+	w1 := attackWindow(l, ue.AttackBTSDoS)
+	w2 := attackWindow(l, ue.AttackBlindDoS)
+
+	for _, m := range DefaultModels {
+		for _, rag := range []bool{false, true} {
+			a := NewClient("http://unused", m.Name)
+			a.RAG = rag
+			b := NewClient("http://unused", m.Name)
+			b.RAG = rag
+			if a.WindowCacheKey(w1) != b.WindowCacheKey(w1) {
+				t.Errorf("%s rag=%v: identical windows produced different keys", m.Name, rag)
+			}
+			if a.WindowCacheKey(w1) == a.WindowCacheKey(w2) {
+				t.Errorf("%s rag=%v: divergent windows collided", m.Name, rag)
+			}
+			// Rendering must be pure: repeated renders of the same window
+			// cannot drift.
+			if a.renderPrompt(w1) != a.renderPrompt(w1) {
+				t.Errorf("%s rag=%v: prompt rendering is not deterministic", m.Name, rag)
+			}
+		}
+	}
+
+	// RAG augmentation changes the prompt, so it must change the key: a
+	// RAG verdict answers a different question than a zero-shot one.
+	zero := NewClient("http://unused", "chatgpt-4o")
+	rag := NewClient("http://unused", "chatgpt-4o")
+	rag.RAG = true
+	if zero.WindowCacheKey(w1) == rag.WindowCacheKey(w1) {
+		t.Error("RAG on/off collided on the same window")
+	}
+
+	// Same prompt, different personality: per Table 3 the verdicts
+	// legitimately differ, so the keys must too.
+	gpt := NewClient("http://unused", "chatgpt-4o")
+	llama := NewClient("http://unused", "llama3")
+	if gpt.WindowCacheKey(w1) == llama.WindowCacheKey(w1) {
+		t.Error("two model personalities collided on the same window")
+	}
+}
+
+// TestPromptDigestMatchesServedAnalysis verifies a served analysis
+// carries the digest of the exact prompt it answers, whichever serving
+// path produced it — the binding xsec-audit chains rely on.
+func TestPromptDigestMatchesServedAnalysis(t *testing.T) {
+	l := mixed(t)
+	_, base := startServer(t)
+	svc := NewService(NewClient(base, "chatgpt-4o"), ServingOptions{})
+	defer svc.Close()
+
+	window := attackWindow(l, ue.AttackUplinkIDExtraction)
+	want := svc.Client().renderPrompt(window)
+	live, err := svc.AnalyzeWindow(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := svc.AnalyzeWindow(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := DegradedAnalysis(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := prov.DigestText(want)
+	for _, tc := range []struct {
+		name string
+		a    *Analysis
+	}{{"live", live}, {"cached", cached}, {"degraded", degraded}} {
+		if tc.a.PromptDigest != wantDigest {
+			t.Errorf("%s: digest %v, want %v", tc.name, tc.a.PromptDigest, wantDigest)
+		}
+	}
+}

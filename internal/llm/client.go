@@ -2,6 +2,7 @@ package llm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,6 +17,10 @@ import (
 
 // LLM client observability: round-trip latency, request outcomes per
 // model, approximate prompt volume, and the verdict distribution.
+// xsec_llm_request_seconds and xsec_llm_requests_total count individual
+// REST attempts (a hedged request observes twice); the prompt-token
+// counter is maintained at the logical-request level — one rendered
+// prompt counts once no matter how many attempts it takes to answer it.
 var (
 	obsRequests = obs.NewCounterVec("xsec_llm_requests_total",
 		"LLM REST queries, by model and outcome.", "model", "outcome")
@@ -23,14 +28,22 @@ var (
 		"LLM REST round-trip latency, including response parsing.",
 		obs.ExpBuckets(1e-4, 2, 16))
 	obsPromptTokens = obs.NewCounter("xsec_llm_prompt_tokens_total",
-		"Approximate prompt tokens submitted (chars/4 heuristic).")
+		"Approximate prompt tokens submitted (chars/4 heuristic), counted once per rendered prompt.")
 	obsVerdicts = obs.NewCounterVec("xsec_llm_verdicts_total",
 		"Parsed verdicts returned by the LLM.", "verdict")
 )
 
+// DefaultRequestTimeout bounds one REST attempt when the caller's
+// context carries no deadline of its own.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Client queries a model endpoint over REST (§3.3: "accesses the LLMs
 // through RESTful web APIs"). Point BaseURL at the built-in expert
-// service or at any compatible real endpoint.
+// service or at any compatible real endpoint. All query methods take a
+// context.Context: cancellation propagates into the HTTP round trip, so
+// an analyzer shutting down (or a hedged attempt losing the race)
+// aborts the in-flight request instead of blocking on a wall-clock
+// timeout.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8090".
 	BaseURL string
@@ -43,7 +56,11 @@ type Client struct {
 	// Knowledge overrides the retrieval corpus (DefaultKnowledgeBase
 	// when nil and RAG is set).
 	Knowledge []KnowledgeEntry
-	// HTTPClient defaults to a client with a 30 s timeout.
+	// Timeout bounds one REST attempt when the context has no deadline
+	// (DefaultRequestTimeout when zero). Contexts with deadlines win.
+	Timeout time.Duration
+	// HTTPClient defaults to a plain client; per-request deadlines come
+	// from the context, not from http.Client.Timeout.
 	HTTPClient *http.Client
 }
 
@@ -52,16 +69,13 @@ func NewClient(baseURL, model string) *Client {
 	return &Client{
 		BaseURL:    strings.TrimRight(baseURL, "/"),
 		Model:      model,
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		HTTPClient: &http.Client{},
 	}
 }
 
-// AnalyzeWindow renders the prompt for a telemetry window, queries the
-// model, and parses the structured analysis out of the response text.
-func (c *Client) AnalyzeWindow(window mobiflow.Trace) (*Analysis, error) {
-	if len(window) == 0 {
-		return nil, fmt.Errorf("llm: empty window")
-	}
+// renderPrompt renders the window into the (optionally RAG-augmented)
+// prompt text this client would submit.
+func (c *Client) renderPrompt(window mobiflow.Trace) string {
 	prompt := RenderPrompt(window)
 	if c.RAG {
 		kb := c.Knowledge
@@ -70,24 +84,73 @@ func (c *Client) AnalyzeWindow(window mobiflow.Trace) (*Analysis, error) {
 		}
 		prompt = AugmentPrompt(prompt, kb)
 	}
-	return c.AnalyzePromptText(prompt)
+	return prompt
 }
 
-// AnalyzePromptText sends an already-rendered prompt.
-func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
+// AnalyzeWindow renders the prompt for a telemetry window, queries the
+// model, and parses the structured analysis out of the response text.
+func (c *Client) AnalyzeWindow(ctx context.Context, window mobiflow.Trace) (*Analysis, error) {
+	if len(window) == 0 {
+		return nil, fmt.Errorf("llm: empty window")
+	}
+	return c.AnalyzePromptText(ctx, c.renderPrompt(window))
+}
+
+// AnalyzePromptText sends an already-rendered prompt. The prompt-token
+// metric is charged here, once per call, before any transport attempt.
+func (c *Client) AnalyzePromptText(ctx context.Context, prompt string) (*Analysis, error) {
+	CountPromptTokens(prompt)
+	return c.do(ctx, prompt)
+}
+
+// CountPromptTokens charges the prompt-token metric for one rendered
+// prompt (chars/4 heuristic). The serving layer calls it once per
+// logical request, however many hedged or retried attempts follow.
+func CountPromptTokens(prompt string) {
+	obsPromptTokens.Add(uint64(len(prompt)+3) / 4)
+}
+
+// withDeadline applies the client's fallback timeout when the caller's
+// context has none.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do performs one REST attempt: no token accounting, no caching — the
+// raw transport the serving layer hedges over.
+func (c *Client) do(ctx context.Context, prompt string) (*Analysis, error) {
 	start := time.Now()
 	defer func() { obsReqSeconds.ObserveSeconds(time.Since(start).Nanoseconds()) }()
-	obsPromptTokens.Add(uint64(len(prompt)+3) / 4)
 
 	body, err := json.Marshal(ChatRequest{Model: c.Model, Prompt: prompt})
 	if err != nil {
 		return nil, fmt.Errorf("llm: encoding request: %w", err)
 	}
-	httpClient := c.HTTPClient
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("llm: building request: %w", err)
 	}
-	resp, err := httpClient.Post(c.BaseURL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		obsRequests.With(c.Model, "transport_error").Inc()
 		return nil, fmt.Errorf("llm: querying %s: %w", c.Model, err)
@@ -112,6 +175,7 @@ func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
 		return nil, err
 	}
 	analysis.Model = c.Model
+	analysis.Served = ServedLive
 	analysis.PromptDigest = prov.DigestText(prompt)
 	obsRequests.With(c.Model, "ok").Inc()
 	obsVerdicts.With(analysis.Verdict.String()).Inc()
@@ -119,12 +183,14 @@ func (c *Client) AnalyzePromptText(prompt string) (*Analysis, error) {
 }
 
 // Models lists the models the endpoint hosts.
-func (c *Client) Models() ([]string, error) {
-	httpClient := c.HTTPClient
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return nil, fmt.Errorf("llm: building request: %w", err)
 	}
-	resp, err := httpClient.Get(c.BaseURL + "/v1/models")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("llm: listing models: %w", err)
 	}

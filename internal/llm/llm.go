@@ -74,6 +74,23 @@ type Hypothesis struct {
 	Implications string
 }
 
+// Serving sources: how an Analysis reached the caller. The provenance
+// ledger records non-live sources on the verdict event so audit chains
+// distinguish a fresh expert opinion from a cache replay or a degraded
+// rule-based fallback.
+const (
+	// ServedLive: a fresh upstream REST round trip answered.
+	ServedLive = "live"
+	// ServedCache: the verdict cache short-circuited the round trip.
+	ServedCache = "cache"
+	// ServedCoalesced: a concurrent identical request was already in
+	// flight; this caller shared its result.
+	ServedCoalesced = "coalesced"
+	// ServedDegraded: the budget governor shed the request and the
+	// local rule base answered instead.
+	ServedDegraded = "degraded"
+)
+
 // Analysis is the structured result of one expert referencing round —
 // the four capabilities of §3.3: what (classification), why
 // (explainability), who (attribution), how to mitigate (remediation).
@@ -91,6 +108,18 @@ type Analysis struct {
 	// the provenance ledger can bind verdict to evidence (set by
 	// Client.AnalyzePromptText).
 	PromptDigest prov.Digest
+	// Served reports how the analysis reached the caller: ServedLive,
+	// ServedCache, ServedCoalesced, or ServedDegraded ("" means live
+	// from a bare Client).
+	Served string
+}
+
+// clone returns a shallow copy — cache hits and coalesced followers get
+// their own struct (Served differs per caller) over the same immutable
+// slices.
+func (a *Analysis) clone() *Analysis {
+	cp := *a
+	return &cp
 }
 
 // TopClass returns the most likely attack class, or ClassUnknown for a

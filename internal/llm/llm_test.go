@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -217,7 +218,7 @@ func TestServerClientEndToEnd(t *testing.T) {
 	defer shutdown()
 
 	client := NewClient("http://"+addr, "chatgpt-4o")
-	models, err := client.Models()
+	models, err := client.Models(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestServerClientEndToEnd(t *testing.T) {
 		t.Errorf("models = %v", models)
 	}
 
-	analysis, err := client.AnalyzeWindow(attackWindow(l, ue.AttackBTSDoS))
+	analysis, err := client.AnalyzeWindow(context.Background(), attackWindow(l, ue.AttackBTSDoS))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,16 +254,16 @@ func TestServerErrors(t *testing.T) {
 
 	// Unknown model.
 	c := NewClient("http://"+addr, "gpt-99")
-	if _, err := c.AnalyzePromptText("DATA:\n#1 UL RRC RRCSetupRequest rnti=0x1\nDetermine"); err == nil {
+	if _, err := c.AnalyzePromptText(context.Background(), "DATA:\n#1 UL RRC RRCSetupRequest rnti=0x1\nDetermine"); err == nil {
 		t.Error("unknown model accepted")
 	}
 	// Empty window at the client.
 	c = NewClient("http://"+addr, "gemini")
-	if _, err := c.AnalyzeWindow(nil); err == nil {
+	if _, err := c.AnalyzeWindow(context.Background(), nil); err == nil {
 		t.Error("empty window accepted")
 	}
 	// Prompt without data.
-	if _, err := c.AnalyzePromptText("hello"); err == nil {
+	if _, err := c.AnalyzePromptText(context.Background(), "hello"); err == nil {
 		t.Error("dataless prompt accepted")
 	}
 }

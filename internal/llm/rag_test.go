@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestRAGLiftsUplinkBlindSpot(t *testing.T) {
 	for _, model := range []string{"chatgpt-4o", "gemini", "copilot", "llama3"} {
 		// Zero-shot: missed.
 		zero := NewClient("http://"+addr, model)
-		a0, err := zero.AnalyzeWindow(window)
+		a0, err := zero.AnalyzeWindow(context.Background(), window)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestRAGLiftsUplinkBlindSpot(t *testing.T) {
 		// RAG: correct.
 		rag := NewClient("http://"+addr, model)
 		rag.RAG = true
-		a1, err := rag.AnalyzeWindow(window)
+		a1, err := rag.AnalyzeWindow(context.Background(), window)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestRAGDoesNotCreateBenignFalsePositives(t *testing.T) {
 	for _, m := range DefaultModels {
 		c := NewClient("http://"+addr, m.Name)
 		c.RAG = true
-		a, err := c.AnalyzeWindow(window)
+		a, err := c.AnalyzeWindow(context.Background(), window)
 		if err != nil {
 			t.Fatal(err)
 		}

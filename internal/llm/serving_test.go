@@ -1,0 +1,448 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/6g-xsec/xsec/internal/obs"
+	"github.com/6g-xsec/xsec/internal/sdl"
+	"github.com/6g-xsec/xsec/internal/ue"
+)
+
+// fakeClock is a manually advanced clock for TTL and breaker tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// startServer hosts the real expert service for serving-layer tests.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	addr, shutdown, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdown() })
+	return srv, "http://" + addr
+}
+
+func TestServingCacheHit(t *testing.T) {
+	l := mixed(t)
+	srv, base := startServer(t)
+	svc := NewService(NewClient(base, "chatgpt-4o"), ServingOptions{})
+	defer svc.Close()
+
+	window := attackWindow(l, ue.AttackBTSDoS)
+	first, err := svc.AnalyzeWindow(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Served != ServedLive {
+		t.Errorf("first served = %q, want live", first.Served)
+	}
+	second, err := svc.AnalyzeWindow(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Served != ServedCache {
+		t.Errorf("second served = %q, want cache", second.Served)
+	}
+	if second.Verdict != first.Verdict || second.TopClass() != first.TopClass() {
+		t.Error("cached analysis differs from live analysis")
+	}
+	if second.PromptDigest != first.PromptDigest {
+		t.Error("cached analysis lost the prompt digest")
+	}
+	if got := srv.Requests(); got != 1 {
+		t.Errorf("upstream requests = %d, want 1 (cache must short-circuit)", got)
+	}
+	if svc.Stats().CacheHits.Load() != 1 || svc.Stats().Live.Load() != 1 {
+		t.Errorf("stats = live %d cache %d", svc.Stats().Live.Load(), svc.Stats().CacheHits.Load())
+	}
+	// The cached copy is the caller's own: mutating it must not poison
+	// the cache.
+	second.Explanation = "mutated"
+	third, _ := svc.AnalyzeWindow(context.Background(), window)
+	if third.Explanation == "mutated" {
+		t.Error("cache returned a shared pointer")
+	}
+}
+
+func TestServingCacheTTL(t *testing.T) {
+	l := mixed(t)
+	srv, base := startServer(t)
+	clk := newFakeClock()
+	svc := NewService(NewClient(base, "chatgpt-4o"), ServingOptions{
+		CacheTTL: time.Minute, Clock: clk.Now,
+	})
+	defer svc.Close()
+
+	window := attackWindow(l, ue.AttackNullCipher)
+	if _, err := svc.AnalyzeWindow(context.Background(), window); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	a, err := svc.AnalyzeWindow(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != ServedLive {
+		t.Errorf("post-TTL served = %q, want live (entry must expire)", a.Served)
+	}
+	if got := srv.Requests(); got != 2 {
+		t.Errorf("upstream requests = %d, want 2", got)
+	}
+}
+
+func TestVerdictCacheLRU(t *testing.T) {
+	vc := newVerdictCache(2, 0, nil)
+	k1 := CacheKey("m", "p1")
+	k2 := CacheKey("m", "p2")
+	k3 := CacheKey("m", "p3")
+	vc.put(k1, &Analysis{Explanation: "1"})
+	vc.put(k2, &Analysis{Explanation: "2"})
+	if _, ok := vc.get(k1); !ok { // touch k1: k2 becomes LRU
+		t.Fatal("k1 missing before eviction")
+	}
+	vc.put(k3, &Analysis{Explanation: "3"})
+	if _, ok := vc.get(k2); ok {
+		t.Error("k2 survived, but it was the least recently used")
+	}
+	if _, ok := vc.get(k1); !ok {
+		t.Error("k1 evicted despite being recently used")
+	}
+	if _, ok := vc.get(k3); !ok {
+		t.Error("k3 missing")
+	}
+	if vc.len() != 2 {
+		t.Errorf("len = %d, want 2", vc.len())
+	}
+}
+
+func TestServingCoalesce(t *testing.T) {
+	l := mixed(t)
+	srv, base := startServer(t)
+	srv.Latency = 50 * time.Millisecond // hold the flight open for followers
+	svc := NewService(NewClient(base, "chatgpt-4o"), ServingOptions{
+		HedgeDelay: time.Second, // must not fire during the held flight
+	})
+	defer svc.Close()
+
+	window := attackWindow(l, ue.AttackBlindDoS)
+	const callers = 8
+	results := make([]*Analysis, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			a, err := svc.AnalyzeWindow(context.Background(), window)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = a
+		}(i)
+	}
+	wg.Wait()
+	if got := srv.Requests(); got != 1 {
+		t.Errorf("upstream requests = %d, want 1 (coalescing must share the flight)", got)
+	}
+	live, coalesced := 0, 0
+	for _, a := range results {
+		switch a.Served {
+		case ServedLive:
+			live++
+		case ServedCoalesced, ServedCache:
+			// A caller arriving after the flight resolves hits the cache
+			// instead; both mean "no extra upstream call".
+			coalesced++
+		default:
+			t.Errorf("unexpected served source %q", a.Served)
+		}
+		if a.Verdict != VerdictAnomalous {
+			t.Errorf("verdict = %v", a.Verdict)
+		}
+	}
+	if live != 1 || coalesced != callers-1 {
+		t.Errorf("live = %d coalesced/cache = %d, want 1 and %d", live, coalesced, callers-1)
+	}
+}
+
+func TestServingHedgeWins(t *testing.T) {
+	l := mixed(t)
+	// Custom endpoint: the first request hangs, later ones answer fast —
+	// the shape of a straggling LLM backend the hedge exists for.
+	var reqs atomic.Uint64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := reqs.Add(1)
+		var req ChatRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		findings, err := AnalyzePrompt(req.Prompt)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		if n == 1 {
+			time.Sleep(400 * time.Millisecond)
+		}
+		writeJSON(w, http.StatusOK, ChatResponse{Model: req.Model, Text: ChatGPT4o.Respond(findings)})
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	svc := NewService(NewClient(ts.URL, "chatgpt-4o"), ServingOptions{
+		HedgeDelay: 20 * time.Millisecond,
+	})
+	defer svc.Close()
+
+	start := time.Now()
+	a, err := svc.AnalyzeWindow(context.Background(), attackWindow(l, ue.AttackBTSDoS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != ServedLive {
+		t.Errorf("served = %q", a.Served)
+	}
+	if elapsed := time.Since(start); elapsed >= 400*time.Millisecond {
+		t.Errorf("hedge did not cut the tail: %v elapsed", elapsed)
+	}
+	if svc.Stats().HedgeAttempts.Load() != 1 || svc.Stats().HedgeWins.Load() != 1 {
+		t.Errorf("hedge stats = attempts %d wins %d, want 1/1",
+			svc.Stats().HedgeAttempts.Load(), svc.Stats().HedgeWins.Load())
+	}
+}
+
+func TestServingDegradesOnFailure(t *testing.T) {
+	l := mixed(t)
+	// No server listening: every upstream attempt fails, yet the alert
+	// must still get a verdict — the rule-based fallback.
+	svc := NewService(NewClient("http://127.0.0.1:1", "chatgpt-4o"), ServingOptions{
+		HedgeDelay: -1, // disabled: fail fast
+	})
+	defer svc.Close()
+
+	a, err := svc.AnalyzeWindow(context.Background(), attackWindow(l, ue.AttackBTSDoS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != ServedDegraded || a.Model != DegradedModel {
+		t.Errorf("served = %q model = %q", a.Served, a.Model)
+	}
+	if a.Verdict != VerdictAnomalous || a.TopClass() != ClassBTSDoS {
+		t.Errorf("degraded verdict = %v top = %v", a.Verdict, a.TopClass())
+	}
+	if a.PromptDigest == 0 {
+		t.Error("degraded analysis lost the prompt digest; prov chains would break")
+	}
+	if svc.Stats().Shed.Load() != 1 {
+		t.Errorf("shed = %d", svc.Stats().Shed.Load())
+	}
+
+	// Benign window: the fallback must not cry wolf.
+	b, err := svc.AnalyzeWindow(context.Background(), benignWindow(l, 0, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Verdict != VerdictBenign || b.Served != ServedDegraded {
+		t.Errorf("benign degraded = %v/%q", b.Verdict, b.Served)
+	}
+}
+
+func TestServingGovernorTripAndRecover(t *testing.T) {
+	l := mixed(t)
+	var failing atomic.Bool
+	var hits atomic.Uint64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if failing.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "overloaded"})
+			return
+		}
+		var req ChatRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		findings, err := AnalyzePrompt(req.Prompt)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, ChatResponse{Model: req.Model, Text: ChatGPT4o.Respond(findings)})
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	clk := newFakeClock()
+	store := sdl.New()
+	svc := NewService(NewClient(ts.URL, "chatgpt-4o"), ServingOptions{
+		CacheSize:       -1, // force every request upstream
+		HedgeDelay:      -1,
+		BreakerTrip:     2,
+		BreakerCooldown: time.Minute,
+		Store:           store,
+		Clock:           clk.Now,
+	})
+	defer svc.Close()
+
+	windows := []ue.AttackKind{ue.AttackBTSDoS, ue.AttackBlindDoS, ue.AttackNullCipher}
+	failing.Store(true)
+	for i := 0; i < 2; i++ { // two consecutive failures trip the breaker
+		a, err := svc.AnalyzeWindow(context.Background(), attackWindow(l, windows[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Served != ServedDegraded {
+			t.Fatalf("failure %d served = %q", i, a.Served)
+		}
+	}
+	if !svc.Saturated() {
+		t.Fatal("governor did not open after BreakerTrip consecutive failures")
+	}
+
+	// Open breaker, inside the cooldown: shed without touching upstream.
+	before := hits.Load()
+	a, err := svc.AnalyzeWindow(context.Background(), attackWindow(l, windows[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != ServedDegraded {
+		t.Errorf("open-breaker served = %q", a.Served)
+	}
+	if hits.Load() != before {
+		t.Error("open breaker still sent a request upstream")
+	}
+
+	// Past the cooldown with a healthy upstream: the probe recovers.
+	failing.Store(false)
+	clk.Advance(2 * time.Minute)
+	a, err = svc.AnalyzeWindow(context.Background(), attackWindow(l, windows[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != ServedLive {
+		t.Errorf("probe served = %q, want live", a.Served)
+	}
+	if svc.Saturated() {
+		t.Error("governor still open after a successful probe")
+	}
+
+	// The SDL journal recorded both transitions, in order.
+	journal := GovernorJournal(store)
+	if len(journal) != 2 {
+		t.Fatalf("journal has %d transitions, want 2: %+v", len(journal), journal)
+	}
+	if journal[0].State != "saturated" || journal[1].State != "ok" {
+		t.Errorf("journal states = %q, %q", journal[0].State, journal[1].State)
+	}
+	if journal[0].Seq >= journal[1].Seq {
+		t.Error("journal sequence not monotonic")
+	}
+}
+
+func TestServingAdmissionShed(t *testing.T) {
+	l := mixed(t)
+	srv, base := startServer(t)
+	srv.Latency = 200 * time.Millisecond
+	svc := NewService(NewClient(base, "chatgpt-4o"), ServingOptions{
+		CacheSize:   -1, // every request wants an upstream slot
+		MaxInflight: 1,
+		AdmitWait:   5 * time.Millisecond,
+		HedgeDelay:  time.Second,
+	})
+	defer svc.Close()
+
+	// Two distinct windows at once through one slot: the loser times out
+	// of admission and degrades instead of queueing unboundedly.
+	var wg sync.WaitGroup
+	served := make([]string, 2)
+	for i, kind := range []ue.AttackKind{ue.AttackBTSDoS, ue.AttackBlindDoS} {
+		wg.Add(1)
+		go func(i int, kind ue.AttackKind) {
+			defer wg.Done()
+			a, err := svc.AnalyzeWindow(context.Background(), attackWindow(l, kind))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			served[i] = a.Served
+		}(i, kind)
+	}
+	wg.Wait()
+	lives, degraded := 0, 0
+	for _, s := range served {
+		switch s {
+		case ServedLive:
+			lives++
+		case ServedDegraded:
+			degraded++
+		}
+	}
+	if lives != 1 || degraded != 1 {
+		t.Errorf("served = %v, want one live and one degraded", served)
+	}
+}
+
+func TestServingHealthCheck(t *testing.T) {
+	svc := NewService(NewClient("http://127.0.0.1:1", "chatgpt-4o"), ServingOptions{
+		HedgeDelay: -1, BreakerTrip: 1,
+	})
+	const name = "llm-serving-test"
+	svc.RegisterHealth(name)
+	defer svc.Close()
+
+	find := func() (obs.HealthStatus, bool) {
+		for _, st := range obs.HealthSnapshot() {
+			if st.Name == name {
+				return st, true
+			}
+		}
+		return obs.HealthStatus{}, false
+	}
+	st, ok := find()
+	if !ok {
+		t.Fatal("health check not registered")
+	}
+	if !st.OK {
+		t.Errorf("healthy service reports not-OK: %+v", st)
+	}
+
+	// One failure trips the breaker (BreakerTrip: 1); /healthz must flip.
+	l := mixed(t)
+	if _, err := svc.AnalyzeWindow(context.Background(), attackWindow(l, ue.AttackBTSDoS)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = find()
+	if st.OK {
+		t.Error("saturated service still reports OK")
+	}
+	if st.Detail == "" {
+		t.Error("health detail empty")
+	}
+
+	svc.Close()
+	if _, ok := find(); ok {
+		t.Error("health check survived Close")
+	}
+}
